@@ -1,0 +1,34 @@
+"""Regenerates the design-choice ablation studies."""
+
+from conftest import emit
+
+from repro.experiments.ablations import format_ablations, run_ablations
+
+
+def test_ablations(benchmark):
+    result = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    emit("Ablation studies", format_ablations(result))
+
+    # Deeper pinned-buffer windows help, with diminishing returns.
+    w1 = result.row("offload-window", "w=1").mean_iteration_time
+    w2 = result.row("offload-window", "w=2").mean_iteration_time
+    w8 = result.row("offload-window", "w=8").mean_iteration_time
+    assert w1 > w2 >= w8
+
+    # Recomputing cheap layers beats migrating them on a PCIe channel.
+    on = result.row("recompute-rule", "recompute-on")
+    off = result.row("recompute-rule", "recompute-off")
+    assert on.mean_iteration_time < off.mean_iteration_time
+
+    # Sharing PCIe uplinks hurts the baseline badly.
+    dedicated = result.row("pcie-uplinks", "dedicated")
+    shared = result.row("pcie-uplinks", "shared")
+    assert shared.mean_iteration_time > 1.5 * dedicated.mean_iteration_time
+
+    # The Figure 7(c) ring beats both strawmen at equal budgets.
+    ring = result.row("interconnect", "fig7c-ring").mean_iteration_time
+    folded = result.row("interconnect",
+                        "fig7b-folded").mean_iteration_time
+    derivative = result.row("interconnect",
+                            "fig7a-derivative").mean_iteration_time
+    assert ring < folded and ring < derivative

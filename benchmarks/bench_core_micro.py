@@ -1,0 +1,57 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+These time the substrate primitives themselves (GEMM timing, ring
+collectives, schedule construction, full iteration simulation) so
+regressions in the simulator's own performance are visible.
+"""
+
+from repro.accelerator.device import BASELINE_DEVICE
+from repro.collectives.ring_algorithm import Primitive, all_reduce_time
+from repro.core.design_points import dc_dla, mc_dla_bw
+from repro.core.schedule import build_iteration_ops, plan_iteration
+from repro.core.simulator import simulate
+from repro.core.timeline import run_timeline
+from repro.dnn.registry import build_network
+from repro.dnn.shapes import Gemm
+from repro.training.parallel import ParallelStrategy
+from repro.units import GBPS, MB
+
+
+def test_bench_gemm_timing(benchmark):
+    gemm = Gemm(512 * 196, 512, 1152)
+    time = benchmark(BASELINE_DEVICE.pe_array.gemm_time, gemm,
+                     BASELINE_DEVICE.hbm)
+    assert time > 0
+
+
+def test_bench_ring_allreduce_model(benchmark):
+    latency = benchmark(all_reduce_time, 16, 8 * MB, 50 * GBPS)
+    assert latency > 0
+
+
+def test_bench_schedule_construction(benchmark):
+    net = build_network("GoogLeNet")
+    config = mc_dla_bw()
+
+    def build():
+        plan = plan_iteration(net, config, 512, ParallelStrategy.DATA)
+        return build_iteration_ops(plan, config)
+
+    ops = benchmark(build)
+    assert len(ops) > 200
+
+
+def test_bench_timeline_scheduler(benchmark):
+    net = build_network("RNN-GRU")
+    config = dc_dla()
+    plan = plan_iteration(net, config, 512, ParallelStrategy.DATA)
+    ops = build_iteration_ops(plan, config)
+    result = benchmark(run_timeline, ops)
+    assert result.makespan > 0
+
+
+def test_bench_full_simulation(benchmark):
+    config = mc_dla_bw()
+    result = benchmark(simulate, config, "VGG-E", 512,
+                       ParallelStrategy.DATA)
+    assert result.iteration_time > 0

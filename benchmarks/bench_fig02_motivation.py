@@ -1,0 +1,21 @@
+"""Regenerates Figure 2: device generations vs PCIe virtualization."""
+
+from conftest import emit
+
+from repro.experiments.fig2_motivation import format_fig2, run_fig2
+
+
+def test_fig02_motivation(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    emit("Figure 2 (motivation)", format_fig2(result))
+
+    for network in ("AlexNet", "GoogLeNet", "VGG-E", "ResNet"):
+        series = result.series(network)
+        # Newer devices run the network strictly faster ...
+        times = [p.time_oracle for p in series]
+        assert times == sorted(times, reverse=True)
+        # ... while the PCIe virtualization overhead keeps growing.
+        overheads = [p.overhead for p in series]
+        assert overheads == sorted(overheads)
+        assert overheads[-1] > 0.8  # TPUv2-class: mostly migration stalls
+        assert result.generation_speedup(network) > 10.0

@@ -1,0 +1,16 @@
+"""Regenerates Figure 10: LOCAL vs BW_AWARE allocation latency."""
+
+from conftest import emit
+
+from repro.experiments.fig10_allocation import format_fig10, run_fig10
+
+
+def test_fig10_allocation(benchmark):
+    result = benchmark(run_fig10)
+    emit("Figure 10 (page allocation policies)", format_fig10(result))
+
+    for point in result.points:
+        # BW_AWARE reads both memory-nodes concurrently: exactly half
+        # the LOCAL latency, with pages split evenly (+-1 page).
+        assert abs(point.speedup - 2.0) < 1e-9
+        assert abs(point.placement_skew) <= 1

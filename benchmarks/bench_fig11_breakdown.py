@@ -1,0 +1,41 @@
+"""Regenerates Figure 11: latency breakdown per design and workload."""
+
+from conftest import emit
+
+from repro.dnn.registry import BENCHMARK_NAMES
+from repro.experiments.fig11_breakdown import format_fig11, run_fig11
+from repro.training.parallel import ParallelStrategy
+
+
+def test_fig11a_data_parallel(benchmark, matrix):
+    result = benchmark.pedantic(run_fig11,
+                                args=(ParallelStrategy.DATA, matrix),
+                                rounds=1, iterations=1)
+    emit("Figure 11(a) data-parallel", format_fig11(result))
+
+    # Memory virtualization bottlenecks DC-DLA on most workloads
+    # (paper: 14 of 16 across both strategies).
+    assert result.vmem_bound_count("DC-DLA") >= 6
+    # HC-DLA trades virtualization latency for synchronization time.
+    assert result.hc_dla_vmem_reduction() > 0.5
+    assert result.hc_dla_sync_increase() > 0.5
+    # DC-DLA spends the least time on synchronization of all designs.
+    for network in BENCHMARK_NAMES:
+        dc_sync = result.raw[(network, "DC-DLA")].sync
+        assert dc_sync <= result.raw[(network, "HC-DLA")].sync + 1e-12
+        assert dc_sync <= result.raw[(network, "MC-DLA(B)")].sync + 1e-12
+
+
+def test_fig11b_model_parallel(benchmark, matrix):
+    result = benchmark.pedantic(run_fig11,
+                                args=(ParallelStrategy.MODEL, matrix),
+                                rounds=1, iterations=1)
+    emit("Figure 11(b) model-parallel", format_fig11(result))
+
+    for network in BENCHMARK_NAMES:
+        # Oracle bars carry no virtualization latency at all.
+        assert result.raw[(network, "DC-DLA(O)")].vmem == 0.0
+        # The memory-centric designs slash DC-DLA's virtualization time.
+        dc = result.raw[(network, "DC-DLA")].vmem
+        mc = result.raw[(network, "MC-DLA(B)")].vmem
+        assert mc < dc / 4

@@ -1,0 +1,27 @@
+"""Regenerates Figure 12: CPU memory bandwidth usage per design."""
+
+from conftest import emit
+
+from repro.dnn.registry import BENCHMARK_NAMES
+from repro.experiments.fig12_cpu_bandwidth import format_fig12, run_fig12
+
+
+def test_fig12_cpu_bandwidth(benchmark, matrix):
+    result = benchmark.pedantic(run_fig12, args=(matrix,), rounds=1,
+                                iterations=1)
+    emit("Figure 12 (CPU memory bandwidth usage)", format_fig12(result))
+
+    for network in BENCHMARK_NAMES:
+        dc = result.bar("DC-DLA", network)
+        hc = result.bar("HC-DLA", network)
+        mc = result.bar("MC-DLA(B)", network)
+        # The memory-centric design consumes no host bandwidth at all.
+        assert mc.avg_data_gbps == mc.avg_model_gbps == mc.max_gbps == 0.0
+        # HC-DLA's 75 GB/s-per-device channel dwarfs DC-DLA's PCIe.
+        assert hc.max_gbps > dc.max_gbps
+        assert hc.avg_data_gbps >= dc.avg_data_gbps
+
+    # HC-DLA eats most of its (already over-provisioned) socket.
+    assert result.worst_case_fraction("HC-DLA") > 0.6
+    # DC-DLA's demand is bounded by 4 devices x 16 GB/s per socket.
+    assert result.worst_case_fraction("DC-DLA") <= 64.0 / 80.0 + 1e-9

@@ -1,0 +1,47 @@
+"""Regenerates Figure 13: performance of the six design points."""
+
+from conftest import emit
+
+from repro.core.design_points import DESIGN_ORDER
+from repro.dnn.registry import BENCHMARK_NAMES
+from repro.experiments.fig13_performance import format_fig13, run_fig13
+from repro.experiments.matrix import STRATEGIES
+from repro.training.parallel import ParallelStrategy
+
+
+def test_fig13_performance(benchmark, matrix):
+    result = benchmark.pedantic(run_fig13, kwargs={"matrix": matrix},
+                                rounds=1, iterations=1)
+    emit("Figure 13 (performance)", format_fig13(result))
+
+    # Who wins, everywhere: the oracle bounds every design, MC-DLA(B)
+    # beats every other buildable design, and DC-DLA is the slowest.
+    for strategy in STRATEGIES:
+        for network in BENCHMARK_NAMES:
+            perfs = {d: result.perf(strategy, network, d)
+                     for d in DESIGN_ORDER}
+            assert all(p <= 1.0 + 1e-9 for p in perfs.values())
+            best_buildable = max(p for d, p in perfs.items()
+                                 if d != "DC-DLA(O)")
+            assert perfs["MC-DLA(B)"] >= best_buildable - 1e-9
+            # Every memory-centric design beats the baseline (HC-DLA
+            # may lose to DC-DLA on sync-bound model-parallel RNNs --
+            # the paper only claims HC-DLA wins on average).
+            for design in ("MC-DLA(S)", "MC-DLA(L)", "MC-DLA(B)"):
+                assert perfs[design] > perfs["DC-DLA"]
+            assert perfs["MC-DLA(L)"] <= perfs["MC-DLA(B)"] + 1e-9
+
+    # Headline factors (paper: 3.5x DP, 2.1x MP, 2.8x overall).
+    dp = result.mean_speedup("MC-DLA(B)", ParallelStrategy.DATA)
+    mp = result.mean_speedup("MC-DLA(B)", ParallelStrategy.MODEL)
+    overall = result.mean_speedup("MC-DLA(B)")
+    assert 2.0 < dp < 5.0
+    assert 1.5 < mp < 3.0
+    assert 1.8 < overall < 3.8
+    assert dp > mp  # data-parallel benefits more, as in the paper
+
+    # MC-DLA(B) approaches the unbuildable oracle (paper: 84-99%; our
+    # GoogLeNet floor is lower because its inception stem pays more
+    # recompute + offload-window stalls -- see EXPERIMENTS.md).
+    lo, mean, hi = result.oracle_fraction_range()
+    assert lo > 0.6 and mean > 0.8 and hi > 0.95

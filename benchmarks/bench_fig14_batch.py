@@ -1,0 +1,16 @@
+"""Regenerates Figure 14: batch-size sensitivity of the MC-DLA speedup."""
+
+from conftest import emit
+
+from repro.experiments.fig14_batch_sensitivity import (format_fig14,
+                                                       run_fig14)
+
+
+def test_fig14_batch_sensitivity(benchmark):
+    result = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    emit("Figure 14 (batch-size sensitivity)", format_fig14(result))
+
+    # MC-DLA(B) wins at every batch size (robustness, paper: avg 2.17x).
+    for batch in result.batches:
+        assert result.batch_mean(batch) > 1.3
+    assert 1.6 < result.overall_mean < 3.5

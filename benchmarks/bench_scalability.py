@@ -1,0 +1,20 @@
+"""Regenerates Section V-D: multi-device scalability."""
+
+from conftest import emit
+
+from repro.experiments.scalability import (format_scalability,
+                                           run_scalability)
+
+
+def test_scalability(benchmark):
+    result = benchmark.pedantic(run_scalability, rounds=1, iterations=1)
+    emit("Section V-D (scalability)", format_scalability(result))
+
+    # Virtualization-free training scales nearly perfectly ...
+    assert result.mean_scaling("DC-DLA (no virtualization)", 4) > 3.8
+    assert result.mean_scaling("DC-DLA (no virtualization)", 8) > 7.6
+    # ... the PCIe bottleneck erodes DC-DLA's scaling ...
+    assert result.mean_scaling("DC-DLA (virtualized)", 8) < 6.0
+    # ... and MC-DLA regains it.
+    assert result.mean_scaling("MC-DLA(B)", 8) > \
+        result.mean_scaling("DC-DLA (virtualized)", 8) * 1.5

@@ -1,0 +1,22 @@
+"""Regenerates the Section VI scale-out feasibility sketch."""
+
+from conftest import emit
+
+from repro.experiments.scaleout import format_scaleout, run_scaleout
+
+
+def test_scaleout(benchmark):
+    result = benchmark.pedantic(run_scaleout, rounds=1, iterations=1)
+    emit("Section VI (scale-out plane)", format_scaleout(result))
+
+    base = result.point(1)
+    big = result.point(16)
+    # Virtualization bandwidth per device is preserved at scale ...
+    assert big.vmem_bw_per_device == base.vmem_bw_per_device
+    # ... the memory pool grows linearly ...
+    assert big.pooled_capacity == 16 * base.pooled_capacity
+    # ... and collective latency grows far sub-linearly (ring
+    # algorithm: the per-step segment shrinks as rings grow).
+    assert big.allreduce_latency < 2.0 * base.allreduce_latency
+    # Switch provisioning stays sane (radix-18 crossbars).
+    assert big.plane.switches_needed <= 48

@@ -1,0 +1,34 @@
+"""Regenerates Table IV: memory-node power, and Section V-C perf/W."""
+
+from conftest import emit
+
+from repro.experiments.fig13_performance import run_fig13
+from repro.experiments.tab4_power import format_tab4, run_tab4
+
+# Table IV's published rows: node TDP (W) and GB/W per DIMM type.
+PAPER_ROWS = {
+    "8GB-RDIMM": (29.0, 2.8),
+    "16GB-RDIMM": (66.0, 2.4),
+    "32GB-LRDIMM": (87.0, 3.7),
+    "64GB-LRDIMM": (102.0, 6.3),
+    "128GB-LRDIMM": (127.0, 10.1),
+}
+
+
+def test_tab04_power(benchmark, matrix):
+    fig13 = run_fig13(matrix=matrix)
+    result = benchmark.pedantic(run_tab4, args=(fig13,), rounds=1,
+                                iterations=1)
+    emit("Table IV (memory-node power)", format_tab4(result))
+
+    for report in result.reports:
+        tdp, gbw = PAPER_ROWS[report.dimm.name]
+        assert abs(report.node_tdp_w - tdp) < 1e-9
+        assert abs(report.node_gb_per_watt - gbw) < 0.06
+
+    # Perf/W improves despite the added nodes (paper: 2.1x-2.6x), and
+    # the low-power build-out is the more efficient one.
+    assert result.perf_per_watt_low_power > result.perf_per_watt_high_capacity
+    assert result.perf_per_watt_high_capacity > 1.2
+    # The 128 GB LRDIMM build-out adds ~10 TB of pooled memory.
+    assert 9.5 < result.pool_capacity_tb < 10.5

@@ -1,0 +1,24 @@
+"""Regenerates the Section V-E user-productivity study."""
+
+from conftest import emit
+
+from repro.experiments.user_productivity import (
+    format_user_productivity, run_user_productivity)
+
+
+def test_user_productivity(benchmark):
+    result = benchmark.pedantic(run_user_productivity, rounds=1,
+                                iterations=1)
+    emit("Section V-E (user productivity)",
+         format_user_productivity(result))
+
+    # The capacity wall: long clips cannot fit device memory, but the
+    # memory-node pool holds every configuration in the sweep.
+    assert result.max_frames_in_hbm < max(p.frames
+                                          for p in result.points)
+    assert result.max_frames_in_pool == max(p.frames
+                                            for p in result.points)
+    # Footprint grows with clip length; MC-DLA keeps winning.
+    footprints = [p.footprint_bytes for p in result.points]
+    assert footprints == sorted(footprints)
+    assert all(p.speedup > 2.0 for p in result.points)

@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+The evaluation matrix (6 designs x 8 workloads x 2 strategies) backs
+Figures 11-13; it is computed once per session so every figure reports
+consistent numbers, exactly like a single simulator campaign would.
+
+``emit`` writes each experiment's reproduction table both to the real
+terminal (bypassing pytest's capture, so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` records the paper's
+rows/series) and to ``benchmarks/results/<id>.txt`` for later diffing.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.matrix import evaluation_matrix
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    return evaluation_matrix(512)
+
+
+def emit(title: str, text: str) -> None:
+    """Record a figure's reproduction table in the benchmark log."""
+    banner = "=" * 72
+    block = f"\n{banner}\n{title}\n{banner}\n{text}\n"
+    # Under the project's tee-sys capture mode this reaches the real
+    # console (and any tee) even when the test passes.
+    print(block, flush=True)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")

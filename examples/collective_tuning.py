@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Interconnect tuning: rings, message sizes, and striping.
+
+Explores the collective-communication design space of Section III-B:
+how ring length, synchronization size, and multi-ring striping interact
+-- the analysis behind the paper's Figure 9 and its choice of the
+16-node MC-DLA ring.
+
+Run:  python examples/collective_tuning.py
+"""
+
+from repro.collectives.multi_ring import (RingChannel,
+                                          striped_collective_time)
+from repro.collectives.ring_algorithm import (Primitive, all_reduce_time,
+                                              collective_time)
+from repro.units import GBPS, KB, MB, fmt_time
+
+LINK = 50 * GBPS
+
+
+def sweep_ring_sizes() -> None:
+    print("All-reduce latency vs ring size (8 MB synchronization):")
+    for n in (2, 4, 8, 16, 24, 36):
+        t = all_reduce_time(n, 8 * MB, LINK)
+        print(f"  {n:>2} nodes: {fmt_time(t)}")
+    overhead = all_reduce_time(16, 8 * MB, LINK) \
+        / all_reduce_time(8, 8 * MB, LINK) - 1
+    print(f"  -> adding 8 memory-nodes to the ring costs only "
+          f"{overhead * 100:.1f}%\n")
+
+
+def sweep_message_sizes() -> None:
+    print("Where the 16-node ring hurts: small synchronization sizes")
+    print(f"  {'size':>8} {'8-node':>12} {'16-node':>12} {'penalty':>9}")
+    for size in (4 * KB, 64 * KB, 1 * MB, 8 * MB, 64 * MB):
+        t8 = all_reduce_time(8, size, LINK)
+        t16 = all_reduce_time(16, size, LINK)
+        label = f"{size // KB} KB" if size < MB else f"{size // MB} MB"
+        print(f"  {label:>8} {fmt_time(t8):>12} {fmt_time(t16):>12} "
+              f"{(t16 / t8 - 1) * 100:>8.1f}%")
+    print("  -> but small messages are not the bottleneck "
+          "(Amdahl's law)\n")
+
+
+def compare_striping() -> None:
+    print("Multi-ring striping (64 MB all-reduce):")
+    balanced = [RingChannel(16, LINK)] * 3
+    unbalanced = [RingChannel(8, LINK), RingChannel(12, LINK),
+                  RingChannel(20, LINK)]
+    single = [RingChannel(16, LINK)]
+    for label, channels in (("1 ring        ", single),
+                            ("3 rings (MC-DLA)", balanced),
+                            ("3 rings (folded)", unbalanced)):
+        t = striped_collective_time(Primitive.ALL_REDUCE, channels,
+                                    64 * MB)
+        print(f"  {label}: {fmt_time(t)}")
+    print("  -> the folded design's 20-hop ring bottlenecks striping\n")
+
+
+def compare_primitives() -> None:
+    print("Primitives on the MC-DLA 16-node ring (8 MB):")
+    for primitive in Primitive:
+        t = collective_time(primitive, 16, 8 * MB, LINK)
+        print(f"  {primitive.value:<11}: {fmt_time(t)}")
+
+
+def main() -> None:
+    sweep_ring_sizes()
+    sweep_message_sizes()
+    compare_striping()
+    compare_primitives()
+
+
+if __name__ == "__main__":
+    main()

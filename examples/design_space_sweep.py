@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Design-space sweep: all six design points over all eight benchmarks.
+
+Reproduces the paper's Figure 13 view interactively: throughput of every
+design normalized to the infinite-memory oracle, for data- and
+model-parallel training, plus the harmonic-mean summary speedups.
+
+Run:  python examples/design_space_sweep.py [batch]
+"""
+
+import sys
+
+from repro import BENCHMARK_NAMES, DESIGN_ORDER, harmonic_mean
+from repro.experiments.fig13_performance import run_fig13
+from repro.experiments.matrix import evaluation_matrix
+from repro.training.parallel import ParallelStrategy
+
+
+def main() -> None:
+    batch = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    print(f"Sweeping {len(DESIGN_ORDER)} designs x "
+          f"{len(BENCHMARK_NAMES)} workloads x 2 strategies "
+          f"at batch {batch} ...\n")
+
+    matrix = evaluation_matrix(batch)
+    fig13 = run_fig13(batch, matrix)
+
+    for strategy, label in ((ParallelStrategy.DATA, "data-parallel"),
+                            (ParallelStrategy.MODEL, "model-parallel")):
+        print(f"== {label}: performance normalized to DC-DLA(O) ==")
+        print(f"{'network':<12}" + "".join(f"{d:>11}"
+                                           for d in DESIGN_ORDER))
+        for network in BENCHMARK_NAMES:
+            cells = "".join(
+                f"{fig13.perf(strategy, network, d):>11.3f}"
+                for d in DESIGN_ORDER)
+            print(f"{network:<12}{cells}")
+        speedup = fig13.mean_speedup("MC-DLA(B)", strategy)
+        print(f"MC-DLA(B) harmonic-mean speedup over DC-DLA: "
+              f"{speedup:.2f}x\n")
+
+    overall = fig13.mean_speedup("MC-DLA(B)")
+    print(f"Overall MC-DLA(B) speedup: {overall:.2f}x "
+          f"(paper reports 2.8x)")
+
+    # Iteration-time detail for the curious.
+    times = [matrix.result("MC-DLA(B)", n,
+                           ParallelStrategy.DATA).iteration_time
+             for n in BENCHMARK_NAMES]
+    fastest = BENCHMARK_NAMES[times.index(min(times))]
+    print(f"Fastest workload on MC-DLA(B): {fastest} "
+          f"({min(times) * 1e3:.1f} ms/iteration)")
+    print(f"Harmonic-mean DP oracle fraction: "
+          f"{harmonic_mean([fig13.perf(ParallelStrategy.DATA, n, 'MC-DLA(B)') for n in BENCHMARK_NAMES]) * 100:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Memory-node sizing: capacity vs power vs system cost (Table IV).
+
+Walks the DIMM catalog of the paper's Table IV and reports, for each
+build-out of eight memory-nodes: pooled capacity, node and system TDP,
+capacity efficiency (GB/W), and the perf/W retained given the measured
+MC-DLA(B) speedup -- the Section V-C analysis as a sizing tool.
+
+Run:  python examples/memory_node_sizing.py
+"""
+
+from repro import ParallelStrategy, design_point, simulate
+from repro.memnode.dimm import DIMM_CATALOG
+from repro.memnode.power import memory_node_power, perf_per_watt_gain
+from repro.units import TB, fmt_bytes, harmonic_mean
+
+
+def measure_speedup() -> float:
+    """A quick MC-DLA(B)/DC-DLA estimate over two bracketing workloads."""
+    speedups = []
+    for network in ("VGG-E", "RNN-LSTM-2"):
+        dc = simulate(design_point("DC-DLA"), network, 512,
+                      ParallelStrategy.DATA)
+        mc = simulate(design_point("MC-DLA(B)"), network, 512,
+                      ParallelStrategy.DATA)
+        speedups.append(mc.speedup_over(dc))
+    return harmonic_mean(speedups)
+
+
+def main() -> None:
+    speedup = measure_speedup()
+    print(f"Measured MC-DLA(B) speedup (quick estimate): "
+          f"{speedup:.2f}x\n")
+
+    header = (f"{'DIMM':<14} {'pool':>10} {'node TDP':>9} "
+              f"{'system':>8} {'GB/W':>6} {'perf/W':>7}")
+    print(header)
+    print("-" * len(header))
+    for dimm in DIMM_CATALOG:
+        report = memory_node_power(dimm)
+        ppw = perf_per_watt_gain(speedup, dimm)
+        print(f"{dimm.name:<14} "
+              f"{fmt_bytes(report.added_capacity_bytes):>10} "
+              f"{report.node_tdp_w:>7.0f} W "
+              f"{report.system_overhead * 100:>+6.1f}% "
+              f"{report.node_gb_per_watt:>6.1f} {ppw:>6.2f}x")
+
+    print("\nGuidance (Section V-C):")
+    low = memory_node_power(DIMM_CATALOG[0])
+    high = memory_node_power(DIMM_CATALOG[-1])
+    print(f"- power-limited chassis: 8 GB RDIMMs add only "
+          f"{low.system_overhead * 100:.0f}% system power")
+    print(f"- capacity-focused: 128 GB LRDIMMs pool "
+          f"{high.added_capacity_bytes / TB:.1f} TB at the best GB/W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: compare MC-DLA against the DGX-style baseline.
+
+Simulates one data-parallel training iteration of VGG-E (batch 512 per
+worker, 8 workers) on the device-centric baseline and on the proposed
+memory-centric design, and prints the latency breakdown the paper's
+Figure 11 stacks.
+
+Run:  python examples/quickstart.py [network] [batch]
+"""
+
+import sys
+
+from repro import ParallelStrategy, design_point, simulate
+from repro.units import fmt_bytes, fmt_time
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "VGG-E"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 512
+
+    print(f"Simulating one training iteration of {network} "
+          f"(batch {batch}/worker, 8 workers, data-parallel)\n")
+
+    results = {}
+    for name in ("DC-DLA", "HC-DLA", "MC-DLA(B)", "DC-DLA(O)"):
+        config = design_point(name)
+        results[name] = simulate(config, network, batch,
+                                 ParallelStrategy.DATA)
+
+    header = (f"{'design':<10} {'iteration':>12} {'compute':>12} "
+              f"{'sync':>12} {'migration':>12} {'migrated':>12}")
+    print(header)
+    print("-" * len(header))
+    for name, r in results.items():
+        b = r.breakdown
+        print(f"{name:<10} {fmt_time(r.iteration_time):>12} "
+              f"{fmt_time(b.compute):>12} {fmt_time(b.sync):>12} "
+              f"{fmt_time(b.vmem):>12} "
+              f"{fmt_bytes(r.round_trip_bytes_per_device):>12}")
+
+    dc, mc = results["DC-DLA"], results["MC-DLA(B)"]
+    oracle = results["DC-DLA(O)"]
+    print(f"\nMC-DLA(B) speedup over DC-DLA: "
+          f"{mc.speedup_over(dc):.2f}x")
+    print(f"MC-DLA(B) reaches {mc.performance_vs(oracle) * 100:.0f}% "
+          f"of an infinite-memory oracle")
+    if not dc.fits_in_device_memory:
+        print(f"(the workload does NOT fit in 16 GB of device memory: "
+              f"virtualization is mandatory)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""User productivity (paper Section V-E): train a model that cannot fit.
+
+Builds an end-to-end video-captioning workload (per-frame CNN encoders +
+encoder/decoder LSTMs) whose training footprint exceeds device memory by
+an order of magnitude, then:
+
+1. shows that a conventional device cannot hold it (the memory capacity
+   wall),
+2. walks the Table I runtime API: the memory manager allocates every
+   migrated tensor in device-remote memory (``malloc_remote``), issues
+   the overlay copies (``memcpy_async`` with LocalToRemote /
+   RemoteToLocal), and frees them (``free_remote``),
+3. simulates a training iteration on DC-DLA and MC-DLA(B).
+
+Run:  python examples/train_oom_video_model.py [frames] [batch]
+"""
+
+import sys
+
+from repro import ParallelStrategy, design_point, simulate
+from repro.dnn.models.video import VideoSpec, build_video_net
+from repro.units import GB, fmt_bytes, fmt_time
+from repro.vmem.manager import MemoryManager
+from repro.vmem.runtime_api import DeviceRuntime
+
+
+def main() -> None:
+    frames = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+
+    spec = VideoSpec(frames=frames)
+    net = build_video_net(spec)
+    footprint = net.training_footprint_bytes(batch)
+    device_mem = 16 * GB
+
+    print(f"Workload: {net.name} ({frames} frames + "
+          f"{spec.caption_steps} caption steps, batch {batch})")
+    print(f"Layers: {len(net)}, weights: "
+          f"{fmt_bytes(net.weight_bytes())}")
+    print(f"Training footprint: {fmt_bytes(footprint)} vs "
+          f"{fmt_bytes(device_mem)} of device memory "
+          f"-> {footprint / device_mem:.1f}x over the capacity wall\n")
+
+    # -- The Table I runtime API in action --------------------------------
+    manager = MemoryManager()
+    plan = manager.plan(net, batch)
+    runtime = DeviceRuntime()
+    print(f"Memory manager plans {len(plan.offloaded)} offloads "
+          f"({fmt_bytes(plan.offload_bytes)}) and "
+          f"{len(plan.recomputed)} recomputes per iteration")
+    pointers = manager.execute_forward(plan, runtime)
+    peak = runtime.live_remote_bytes
+    manager.execute_backward(plan, runtime, pointers)
+    print(f"Peak device-remote residency: {fmt_bytes(peak)}; "
+          f"modeled overlay time: {fmt_time(runtime.clock)}; "
+          f"remote pool drained: "
+          f"{runtime.live_remote_bytes == 0}\n")
+
+    # -- System-level comparison ------------------------------------------
+    for name in ("DC-DLA", "MC-DLA(B)"):
+        result = simulate(design_point(name), net, batch,
+                          ParallelStrategy.DATA)
+        b = result.breakdown
+        print(f"{name:<10} iteration {fmt_time(result.iteration_time)} "
+              f"(compute {fmt_time(b.compute)}, "
+              f"migration {fmt_time(b.vmem)})")
+
+    dc = simulate(design_point("DC-DLA"), net, batch,
+                  ParallelStrategy.DATA)
+    mc = simulate(design_point("MC-DLA(B)"), net, batch,
+                  ParallelStrategy.DATA)
+    print(f"\nMC-DLA(B) trains this previously-untrainable model "
+          f"{mc.speedup_over(dc):.2f}x faster than PCIe-based "
+          f"virtualization")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro: a memory-centric HPC system simulator for deep learning.
+
+Reproduction of Kwon & Rhu, "Beyond the Memory Wall: A Case for
+Memory-centric HPC System for Deep Learning" (MICRO-51, 2018).
+
+Public API quickstart::
+
+    from repro import simulate, design_point, ParallelStrategy
+
+    dc = design_point("DC-DLA")
+    mc = design_point("MC-DLA(B)")
+    base = simulate(dc, "VGG-E", batch=512, strategy=ParallelStrategy.DATA)
+    ours = simulate(mc, "VGG-E", batch=512, strategy=ParallelStrategy.DATA)
+    print(f"speedup: {ours.speedup_over(base):.2f}x")
+"""
+
+from repro.core import (DESIGN_ORDER, LatencyBreakdown, SimulationResult,
+                        SystemConfig, all_design_points, design_point,
+                        host_bandwidth_usage, simulate)
+from repro.dnn import BENCHMARK_NAMES, Network, build_network
+from repro.training import ParallelStrategy
+from repro.units import harmonic_mean
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_NAMES", "DESIGN_ORDER", "LatencyBreakdown", "Network",
+    "ParallelStrategy", "SimulationResult", "SystemConfig",
+    "all_design_points", "build_network", "design_point",
+    "harmonic_mean", "host_bandwidth_usage", "simulate", "__version__",
+]

@@ -1,0 +1,130 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig13
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable
+
+
+def _fig2() -> str:
+    from repro.experiments.fig2_motivation import format_fig2, run_fig2
+    return format_fig2(run_fig2())
+
+
+def _fig9() -> str:
+    from repro.experiments.fig9_collectives import format_fig9, run_fig9
+    return format_fig9(run_fig9())
+
+
+def _fig10() -> str:
+    from repro.experiments.fig10_allocation import (format_fig10,
+                                                    run_fig10)
+    return format_fig10(run_fig10())
+
+
+def _fig11() -> str:
+    from repro.experiments.fig11_breakdown import format_fig11, run_fig11
+    from repro.training.parallel import ParallelStrategy
+    return (format_fig11(run_fig11(ParallelStrategy.DATA)) + "\n\n"
+            + format_fig11(run_fig11(ParallelStrategy.MODEL)))
+
+
+def _fig12() -> str:
+    from repro.experiments.fig12_cpu_bandwidth import (format_fig12,
+                                                       run_fig12)
+    return format_fig12(run_fig12())
+
+
+def _fig13() -> str:
+    from repro.experiments.fig13_performance import (format_fig13,
+                                                     run_fig13)
+    return format_fig13(run_fig13())
+
+
+def _fig14() -> str:
+    from repro.experiments.fig14_batch_sensitivity import (format_fig14,
+                                                           run_fig14)
+    return format_fig14(run_fig14())
+
+
+def _tab4() -> str:
+    from repro.experiments.tab4_power import format_tab4, run_tab4
+    return format_tab4(run_tab4())
+
+
+def _scalability() -> str:
+    from repro.experiments.scalability import (format_scalability,
+                                               run_scalability)
+    return format_scalability(run_scalability())
+
+
+def _sensitivity() -> str:
+    from repro.experiments.sensitivity import (format_sensitivity,
+                                               run_sensitivity)
+    return format_sensitivity(run_sensitivity())
+
+
+def _ablations() -> str:
+    from repro.experiments.ablations import format_ablations, run_ablations
+    return format_ablations(run_ablations())
+
+
+def _productivity() -> str:
+    from repro.experiments.user_productivity import (
+        format_user_productivity, run_user_productivity)
+    return format_user_productivity(run_user_productivity())
+
+
+def _scaleout() -> str:
+    from repro.experiments.scaleout import format_scaleout, run_scaleout
+    return format_scaleout(run_scaleout())
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "fig2": ("Figure 2: device generations vs PCIe overhead", _fig2),
+    "fig9": ("Figure 9: ring collective latency", _fig9),
+    "fig10": ("Figure 10: LOCAL vs BW_AWARE allocation", _fig10),
+    "fig11": ("Figure 11: latency breakdown", _fig11),
+    "fig12": ("Figure 12: CPU memory bandwidth usage", _fig12),
+    "fig13": ("Figure 13: design-point performance", _fig13),
+    "fig14": ("Figure 14: batch-size sensitivity", _fig14),
+    "tab4": ("Table IV: memory-node power", _tab4),
+    "scalability": ("Section V-D: device-count scaling", _scalability),
+    "sensitivity": ("Section V-B: sensitivity studies", _sensitivity),
+    "ablations": ("Design-choice ablations", _ablations),
+    "productivity": ("Section V-E: user productivity", _productivity),
+    "scaleout": ("Section VI: scale-out plane", _scaleout),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if not args or args[0] in ("-h", "--help", "list"):
+        print("usage: python -m repro <experiment|all>")
+        print("experiments:")
+        for key, (title, _) in EXPERIMENTS.items():
+            print(f"  {key:<12} {title}")
+        return 0
+
+    targets = list(EXPERIMENTS) if args[0] == "all" else args
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    for target in targets:
+        title, runner = EXPERIMENTS[target]
+        print(f"\n### {title}\n")
+        print(runner())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Accelerator generations for the paper's Figure 2 motivation study.
+
+Five successive single-device configurations (Kepler, Maxwell, Pascal,
+Volta, TPUv2) whose effective training throughput grew by 20-34x over
+five years while the PCIe host interface stayed at gen3 -- the widening
+gap that motivates the whole paper.  Peak throughputs follow each
+generation's best training-relevant number (fp32 for Kepler/Maxwell,
+fp16 for Pascal, tensor/matrix units for Volta and TPUv2); the MAC
+convention matches Table II (Volta-class = 1024 x 125 MACs @ 1 GHz).
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.device import DeviceSpec
+from repro.accelerator.hbm import MemorySpec
+from repro.accelerator.pe_array import PeArraySpec
+from repro.units import GB, GBPS
+
+
+def _gen(name: str, pe_count: int, macs_per_pe: int, ghz: float,
+         bw_gbps: float, capacity_gb: int) -> DeviceSpec:
+    return DeviceSpec(
+        name=name,
+        pe_array=PeArraySpec(pe_count=pe_count, macs_per_pe=macs_per_pe,
+                             frequency=ghz * 1e9),
+        hbm=MemorySpec(f"{name}-mem", bandwidth=bw_gbps * GBPS,
+                       access_latency_cycles=100,
+                       capacity=capacity_gb * GB),
+    )
+
+
+#: K40-class: 4.3 T-MAC/s, 288 GB/s GDDR5, 12 GB.
+KEPLER = _gen("Kepler", 1024, 6, 0.70, 288, 12)
+
+#: M40-class: 6.8 T-MAC/s, 288 GB/s GDDR5, 24 GB.
+MAXWELL = _gen("Maxwell", 1024, 6, 1.114, 288, 24)
+
+#: P100-class (fp16): 21.3 T-MAC/s, 732 GB/s HBM2, 16 GB.
+PASCAL = _gen("Pascal", 1024, 16, 1.30, 732, 16)
+
+#: V100-class (tensor cores) == the Table II baseline device.
+VOLTA = _gen("Volta", 1024, 125, 1.00, 900, 16)
+
+#: TPUv2 board: 180 T-MAC/s matrix units, 2.4 TB/s aggregate HBM, 64 GB.
+TPUV2 = _gen("TPUv2", 1024, 150, 1.17, 2400, 64)
+
+#: Figure 2's x-axis order.
+GENERATIONS: tuple[DeviceSpec, ...] = (KEPLER, MAXWELL, PASCAL, VOLTA,
+                                       TPUV2)
+
+
+def generation(name: str) -> DeviceSpec:
+    for dev in GENERATIONS:
+        if dev.name.lower() == name.lower():
+            return dev
+    raise KeyError(f"unknown generation {name!r}")

@@ -1,0 +1,51 @@
+"""On-package device memory (HBM) model.
+
+Following the paper's methodology (Section IV), device memory is modeled
+with fixed bandwidth and access latency rather than a cycle-level DRAM
+simulator: DNN dataflows are deterministic and bulk-granular, so
+system-level results are insensitive to DRAM microarchitecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GB, GBPS
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Fixed-bandwidth, fixed-latency memory (device HBM or node DDR4)."""
+
+    name: str
+    bandwidth: float            # bytes/sec
+    access_latency_cycles: int  # at the consumer's clock
+    capacity: int               # bytes
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if self.access_latency_cycles < 0:
+            raise ValueError(f"{self.name}: negative latency")
+        if self.capacity <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+
+    def access_latency(self, frequency: float) -> float:
+        """Access latency in seconds at a given core clock."""
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        return self.access_latency_cycles / frequency
+
+    def stream_time(self, nbytes: float, frequency: float) -> float:
+        """One bulk read/write stream of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if nbytes == 0:
+            return 0.0
+        return self.access_latency(frequency) + nbytes / self.bandwidth
+
+
+#: Table II device-node memory: 900 GB/s HBM2, 100-cycle latency, 16 GB
+#: (V100-class capacity).
+HBM_900 = MemorySpec("hbm2-900", bandwidth=900 * GBPS,
+                     access_latency_cycles=100, capacity=16 * GB)

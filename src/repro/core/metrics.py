@@ -1,0 +1,83 @@
+"""Result records of a simulated training iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.training.parallel import ParallelStrategy
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """The three stacked latencies of the paper's Figure 11.
+
+    These are *raw* per-engine totals; they do not sum to the iteration
+    time because the framework overlaps computation with
+    synchronization and memory virtualization (the figure's caption).
+    """
+
+    compute: float
+    sync: float
+    vmem: float
+
+    def __post_init__(self) -> None:
+        if min(self.compute, self.sync, self.vmem) < 0:
+            raise ValueError("latency components must be non-negative")
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.sync + self.vmem
+
+    def normalized_to(self, reference_total: float) -> "LatencyBreakdown":
+        if reference_total <= 0:
+            raise ValueError("reference total must be positive")
+        return LatencyBreakdown(self.compute / reference_total,
+                                self.sync / reference_total,
+                                self.vmem / reference_total)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """One (design point, network, batch, strategy) simulation."""
+
+    system: str
+    network: str
+    batch: int
+    strategy: ParallelStrategy
+    n_devices: int
+    iteration_time: float
+    breakdown: LatencyBreakdown
+    offload_bytes_per_device: int
+    sync_bytes: int
+    #: Virtualization bytes through *host* DRAM per device (0 when the
+    #: backing store is a memory-node or migration is off).
+    host_traffic_bytes_per_device: int
+    #: Whether the whole training footprint fits in device memory
+    #: without virtualization.
+    fits_in_device_memory: bool
+
+    def __post_init__(self) -> None:
+        if self.iteration_time <= 0:
+            raise ValueError("iteration time must be positive")
+
+    @property
+    def throughput(self) -> float:
+        """Training throughput in samples/sec across the node."""
+        return self.batch / self.iteration_time
+
+    @property
+    def round_trip_bytes_per_device(self) -> int:
+        return 2 * self.offload_bytes_per_device
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        if (self.network, self.batch, self.strategy) != \
+                (other.network, other.batch, other.strategy):
+            raise ValueError("speedup requires matching workloads")
+        return other.iteration_time / self.iteration_time
+
+    def performance_vs(self, oracle: "SimulationResult") -> float:
+        """Throughput normalized to the oracle (Figure 13's y-axis)."""
+        if (self.network, self.batch, self.strategy) != \
+                (oracle.network, oracle.batch, oracle.strategy):
+            raise ValueError("normalization requires matching workloads")
+        return oracle.iteration_time / self.iteration_time

@@ -1,0 +1,198 @@
+"""Build one training iteration's op list for the timeline scheduler.
+
+This is where the paper's three latency components meet: forward and
+backward computation on the PE array, offload/prefetch DMAs on the
+virtualization channel (with vDNN's pinned-buffer back-pressure and
+bounded prefetch lookahead), and collective synchronization on the ring
+networks.  The resulting :class:`~repro.core.timeline.OpList` encodes
+every overlap opportunity and every stall the design point implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import SystemConfig
+from repro.core.timeline import EngineKind, OpList
+from repro.dnn.graph import Network
+from repro.dnn.layers import LayerKind
+from repro.training.backprop import TrainingStep, expand
+from repro.training.parallel import (ParallelStrategy, PartitionedLayer,
+                                     partition)
+from repro.vmem.policy import MigrationAction, MigrationPolicy
+
+
+@dataclass(frozen=True)
+class IterationPlan:
+    """Everything needed to schedule (and introspect) one iteration."""
+
+    net: Network
+    batch: int
+    strategy: ParallelStrategy
+    parts: dict[str, PartitionedLayer]
+    step: TrainingStep
+    #: producer layer -> per-device shard bytes migrated (0 if resident).
+    migrated_shards: dict[str, int]
+
+    @property
+    def offload_bytes_per_device(self) -> int:
+        return sum(self.migrated_shards.values())
+
+    @property
+    def round_trip_bytes_per_device(self) -> int:
+        return 2 * self.offload_bytes_per_device
+
+    @property
+    def sync_bytes_per_iteration(self) -> int:
+        total = 0
+        for part in self.parts.values():
+            for sync in (part.fwd_sync, part.bwd_sync):
+                if sync is not None:
+                    total += sync.nbytes
+        return total
+
+
+def plan_iteration(net: Network, config: SystemConfig, batch: int,
+                   strategy: ParallelStrategy) -> IterationPlan:
+    """Partition the network and derive the migration plan."""
+    parts = {p.name: p for p in partition(net, batch, strategy,
+                                          config.n_devices)}
+    policy = MigrationPolicy(virtualize=config.virtualizes)
+    tensor_plans = policy.plan(net, batch)
+    step = expand(net, tensor_plans)
+    migrated = {
+        plan.producer: parts[plan.producer].out_shard_bytes
+        for plan in tensor_plans
+        if plan.action is MigrationAction.OFFLOAD
+    }
+    return IterationPlan(net=net, batch=batch, strategy=strategy,
+                         parts=parts, step=step, migrated_shards=migrated)
+
+
+def build_iteration_ops(plan: IterationPlan,
+                        config: SystemConfig) -> OpList:
+    """Emit the iteration's ops in dependency-consistent issue order."""
+    ops = OpList()
+    device = config.device
+    net = plan.net
+    parts = plan.parts
+
+    fwd_ready: dict[str, int | None] = {}
+    fwd_sync_uid: dict[str, int] = {}
+    offload_uid: dict[str, int] = {}     # producer -> its offload op
+    offload_order: list[int] = []
+
+    # ---- Forward propagation -------------------------------------------
+    for name in plan.step.fwd_order:
+        layer = net.layer(name)
+        part = parts[name]
+        if layer.kind is LayerKind.INPUT:
+            fwd_ready[name] = None
+            continue
+
+        preds = net.predecessors(name)
+        deps = [fwd_ready[p] for p in preds
+                if fwd_ready.get(p) is not None]
+        # Layer-boundary collectives are chunk-pipelined with the
+        # consumer's compute (NCCL-style): a layer may run one step
+        # ahead of communication, so it waits on its *grandparents'*
+        # all-gathers, not its parents'.
+        for p in preds:
+            for gp in net.predecessors(p):
+                if gp in fwd_sync_uid:
+                    deps.append(fwd_sync_uid[gp])
+        # vDNN pinned-buffer back-pressure: at most `offload_window`
+        # offloads may be outstanding before compute stalls.
+        if len(offload_order) >= config.offload_window:
+            deps.append(offload_order[-config.offload_window])
+        compute = ops.add(EngineKind.COMPUTE,
+                          device.op_time(list(part.fwd_gemms),
+                                         part.fwd_stream_bytes),
+                          deps, tag=f"fwd:{name}")
+        ready = compute
+        if part.fwd_sync is not None:
+            sync = ops.add(EngineKind.COMM,
+                           config.collectives.time(
+                               part.fwd_sync.primitive,
+                               part.fwd_sync.nbytes),
+                           [compute], tag=f"sync-fwd:{name}",
+                           nbytes=part.fwd_sync.nbytes)
+            fwd_sync_uid[name] = sync
+            ready = sync
+        fwd_ready[name] = compute if part.fwd_sync is not None else ready
+
+        # Offload every tensor whose last forward reuse is this layer;
+        # a gathered tensor only becomes complete after its collective.
+        for producer in plan.step.prefetch_sites.get(name, ()):
+            shard = plan.migrated_shards[producer]
+            uid = ops.add(EngineKind.DMA_OUT,
+                          config.vmem.transfer_time(shard),
+                          [ready], tag=f"offload:{producer}",
+                          nbytes=shard)
+            offload_uid[producer] = uid
+            offload_order.append(uid)
+
+    # ---- Backward propagation ------------------------------------------
+    bwd_ready: dict[str, int] = {}
+    bwd_sync_uid: dict[str, int] = {}
+    bwd_computes: list[int] = []
+    for step_index, name in enumerate(plan.step.bwd_order):
+        layer = net.layer(name)
+        part = parts[name]
+
+        succs = net.successors(name)
+        deps = [bwd_ready[s] for s in succs if s in bwd_ready]
+        # Pipelined gradient collectives: one step of run-ahead, so a
+        # layer's backward waits on its grand-successors' dX reductions.
+        if plan.strategy is ParallelStrategy.MODEL:
+            for s in succs:
+                for gs in net.successors(s):
+                    if gs in bwd_sync_uid:
+                        deps.append(bwd_sync_uid[gs])
+        if not deps and fwd_ready.get(name) is not None:
+            # The loss-side frontier starts once forward has finished.
+            deps = [fwd_ready[name]]  # type: ignore[list-item]
+
+        # Prefetches feeding this backward step, throttled to a bounded
+        # lookahead so device memory is not flooded early.
+        gate: list[int] = []
+        if step_index >= config.prefetch_window:
+            gate = [bwd_computes[step_index - config.prefetch_window]]
+        prefetch_ids = []
+        for producer in plan.step.prefetch_sites.get(name, ()):
+            shard = plan.migrated_shards[producer]
+            prefetch_ids.append(ops.add(
+                EngineKind.DMA_IN, config.vmem.transfer_time(shard),
+                gate + [offload_uid[producer]],
+                tag=f"prefetch:{producer}", nbytes=shard))
+
+        # Cheap tensors regenerated instead of migrated (footnote 4).
+        recompute_ids = []
+        for producer in plan.step.recompute_sites.get(name, ()):
+            rc_part = parts[producer]
+            recompute_ids.append(ops.add(
+                EngineKind.COMPUTE,
+                device.op_time(list(rc_part.fwd_gemms),
+                               rc_part.fwd_stream_bytes),
+                list(prefetch_ids), tag=f"recompute:{producer}"))
+
+        compute = ops.add(EngineKind.COMPUTE,
+                          device.op_time(list(part.bwd_gemms),
+                                         part.fwd_stream_bytes),
+                          deps + prefetch_ids + recompute_ids,
+                          tag=f"bwd:{name}")
+        bwd_computes.append(compute)
+
+        if part.bwd_sync is not None:
+            sync = ops.add(EngineKind.COMM,
+                           config.collectives.time(part.bwd_sync.primitive,
+                                                   part.bwd_sync.nbytes),
+                           [compute], tag=f"sync-bwd:{name}",
+                           nbytes=part.bwd_sync.nbytes)
+            # Model-parallel dX reductions gate the grand-producers'
+            # backward pass (pipelined, above); data-parallel dW
+            # all-reduces only gate iteration end.
+            bwd_sync_uid[name] = sync
+        bwd_ready[name] = compute
+
+    return ops

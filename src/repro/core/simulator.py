@@ -1,0 +1,77 @@
+"""Top-level system simulator (paper Section IV's methodology).
+
+``simulate(config, network, batch, strategy)`` runs one training
+iteration of a benchmark on a design point and returns a
+:class:`~repro.core.metrics.SimulationResult` carrying the iteration
+time, the Figure 11 latency breakdown, and the traffic accounting that
+feeds Figure 12.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import LatencyBreakdown, SimulationResult
+from repro.core.schedule import build_iteration_ops, plan_iteration
+from repro.core.system import SystemConfig
+from repro.core.timeline import EngineKind, run_timeline
+from repro.dnn.graph import Network
+from repro.dnn.registry import build_network
+from repro.host.cpu import CpuBandwidthUsage, socket_usage
+from repro.training.parallel import ParallelStrategy
+
+DEFAULT_BATCH = 512
+
+
+def _resolve(network: Network | str) -> Network:
+    if isinstance(network, str):
+        return build_network(network)
+    return network
+
+
+def simulate(config: SystemConfig, network: Network | str,
+             batch: int = DEFAULT_BATCH,
+             strategy: ParallelStrategy = ParallelStrategy.DATA) \
+        -> SimulationResult:
+    """Simulate one training iteration on a design point."""
+    net = _resolve(network)
+    plan = plan_iteration(net, config, batch, strategy)
+    ops = build_iteration_ops(plan, config)
+    timeline = run_timeline(ops)
+
+    breakdown = LatencyBreakdown(
+        compute=timeline.busy_time(EngineKind.COMPUTE),
+        sync=timeline.busy_time(EngineKind.COMM),
+        vmem=(timeline.busy_time(EngineKind.DMA_OUT)
+              + timeline.busy_time(EngineKind.DMA_IN)))
+
+    host_traffic = (plan.round_trip_bytes_per_device
+                    if config.uses_host_memory else 0)
+    # Weak scaling: every worker trains a full `batch` (data-parallel)
+    # or materializes full gathered feature maps (model-parallel), so
+    # the per-device footprint is the full-batch footprint either way.
+    footprint = net.training_footprint_bytes(batch)
+
+    return SimulationResult(
+        system=config.name,
+        network=net.name,
+        batch=batch,
+        strategy=strategy,
+        n_devices=config.n_devices,
+        iteration_time=timeline.makespan,
+        breakdown=breakdown,
+        offload_bytes_per_device=plan.offload_bytes_per_device,
+        sync_bytes=plan.sync_bytes_per_iteration,
+        host_traffic_bytes_per_device=host_traffic,
+        fits_in_device_memory=footprint <= config.device.memory_capacity,
+    )
+
+
+def host_bandwidth_usage(config: SystemConfig,
+                         result: SimulationResult) -> CpuBandwidthUsage:
+    """Per-socket CPU memory bandwidth usage (Figure 12)."""
+    if config.host_socket is None:
+        raise ValueError(f"{config.name} has no host socket configured")
+    concurrent = (config.vmem.channel.concurrent_bw
+                  if config.virtualizes else 0.0)
+    return socket_usage(config.host_socket,
+                        result.host_traffic_bytes_per_device,
+                        result.iteration_time, concurrent)

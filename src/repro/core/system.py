@@ -1,0 +1,121 @@
+"""System-architecture composition: devices + interconnect + backing store.
+
+A :class:`SystemConfig` is one concrete design point: the device-node
+spec, the interconnect's collective ring channels, the virtualization
+channel, the backing store's properties, and the host sockets.  The
+simulator consumes nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerator.device import BASELINE_DEVICE, DeviceSpec
+from repro.collectives.multi_ring import (RingChannel,
+                                          striped_collective_time)
+from repro.collectives.ring_algorithm import (DEFAULT_SPEC, CollectiveSpec,
+                                              Primitive)
+from repro.host.cpu import CpuSocketSpec
+from repro.interconnect.builders import SystemTopology, VmemChannel, VmemTarget
+from repro.memnode.memory_node import MemoryNodeSpec
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Prices collectives over a design's ring channels."""
+
+    channels: tuple[RingChannel, ...]
+    spec: CollectiveSpec = DEFAULT_SPEC
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValueError("a system needs at least one ring channel")
+
+    def time(self, primitive: Primitive, nbytes: int) -> float:
+        if nbytes == 0:
+            return 0.0
+        return striped_collective_time(primitive, list(self.channels),
+                                       nbytes, self.spec)
+
+    @classmethod
+    def from_topology(cls, topo: SystemTopology,
+                      spec: CollectiveSpec = DEFAULT_SPEC) \
+            -> "CollectiveModel":
+        channels = tuple(RingChannel(size=h, bandwidth=bw)
+                         for h, bw in topo.collective_channels())
+        return cls(channels=channels, spec=spec)
+
+
+@dataclass(frozen=True)
+class VmemModel:
+    """Prices backing-store transfers for one device."""
+
+    channel: VmemChannel
+    dma_setup: float = 2.0 * US
+    #: Compression ratio applied to migrated traffic (the cDMA
+    #: sensitivity study, Section V-B; 1.0 = no compression).
+    compression: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.compression < 1.0:
+            raise ValueError("compression ratio must be >= 1")
+        if self.dma_setup < 0:
+            raise ValueError("negative DMA setup time")
+
+    @property
+    def enabled(self) -> bool:
+        return self.channel.target is not VmemTarget.NONE
+
+    def transfer_time(self, nbytes: int, concurrent: bool = True) -> float:
+        """One offload or prefetch DMA of ``nbytes``."""
+        if not self.enabled:
+            raise RuntimeError("oracle design has no migration channel")
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if nbytes == 0:
+            return 0.0
+        bw = (self.channel.concurrent_bw if concurrent
+              else self.channel.peak_bw)
+        return self.dma_setup + (nbytes / self.compression) / bw
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One complete design point, ready to simulate."""
+
+    name: str
+    device: DeviceSpec = BASELINE_DEVICE
+    n_devices: int = 8
+    collectives: CollectiveModel = None  # type: ignore[assignment]
+    vmem: VmemModel = None               # type: ignore[assignment]
+    memory_node: MemoryNodeSpec | None = None
+    host_socket: CpuSocketSpec | None = None
+    #: vDNN pinned-buffer depth: how many offloads may be in flight
+    #: before forward compute stalls (double buffering).
+    offload_window: int = 2
+    #: Prefetch lookahead in backward steps.
+    prefetch_window: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ValueError("need at least one device")
+        if self.collectives is None or self.vmem is None:
+            raise ValueError("collectives and vmem models are required")
+        if self.offload_window < 1 or self.prefetch_window < 1:
+            raise ValueError("windows must be >= 1")
+
+    @property
+    def virtualizes(self) -> bool:
+        return self.vmem.enabled
+
+    @property
+    def uses_host_memory(self) -> bool:
+        return self.vmem.channel.target is VmemTarget.HOST
+
+    def total_memory_capacity(self) -> int:
+        """Device HBM plus the attached memory-node pool, system-wide."""
+        total = self.n_devices * self.device.memory_capacity
+        if self.memory_node is not None:
+            total += self.n_devices * self.memory_node.capacity
+        return total

@@ -1,0 +1,93 @@
+"""Timeline trace export.
+
+Turns a scheduled iteration into inspectable artifacts:
+
+* :func:`to_records` -- plain dicts (op, engine, start, finish, bytes),
+  convenient for numpy/pandas-style analysis;
+* :func:`to_chrome_trace` -- the Chrome/Perfetto ``trace_event`` JSON
+  format (open in ``chrome://tracing`` or https://ui.perfetto.dev) with
+  one row per engine;
+* :func:`engine_utilization` -- busy fraction per engine over the
+  iteration, the quickest way to see which resource bounds a design.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.timeline import EngineKind, TimelineResult
+
+#: Stable row ordering for trace viewers.
+_ENGINE_ROWS = {
+    EngineKind.COMPUTE: 0,
+    EngineKind.COMM: 1,
+    EngineKind.DMA_OUT: 2,
+    EngineKind.DMA_IN: 3,
+}
+
+_CATEGORY_OF_PREFIX = {
+    "fwd": "compute", "bwd": "compute", "recompute": "compute",
+    "offload": "migration", "prefetch": "migration",
+    "sync-fwd": "collective", "sync-bwd": "collective",
+}
+
+
+def to_records(result: TimelineResult) -> list[dict]:
+    """One dict per scheduled op, in start-time order."""
+    records = [
+        {
+            "uid": s.op.uid,
+            "tag": s.op.tag,
+            "engine": s.op.engine.value,
+            "start": s.start,
+            "finish": s.finish,
+            "duration": s.op.duration,
+            "nbytes": s.op.nbytes,
+        }
+        for s in result.scheduled
+    ]
+    records.sort(key=lambda r: (r["start"], r["uid"]))
+    return records
+
+
+def _category(tag: str) -> str:
+    prefix = tag.split(":", 1)[0]
+    return _CATEGORY_OF_PREFIX.get(prefix, "other")
+
+
+def to_chrome_trace(result: TimelineResult, pid: int = 1) -> str:
+    """Serialize the timeline as Chrome ``trace_event`` JSON."""
+    events = [
+        {
+            "name": engine.value,
+            "ph": "M",  # metadata: thread (row) names
+            "pid": pid,
+            "tid": row,
+            "cat": "__metadata",
+            "args": {"name": engine.value},
+        }
+        for engine, row in _ENGINE_ROWS.items()
+    ]
+    for s in result.scheduled:
+        if s.op.duration <= 0:
+            continue
+        events.append({
+            "name": s.op.tag,
+            "ph": "X",  # complete event
+            "pid": pid,
+            "tid": _ENGINE_ROWS[s.op.engine],
+            "ts": s.start * 1e6,       # microseconds
+            "dur": s.op.duration * 1e6,
+            "cat": _category(s.op.tag),
+            "args": {"bytes": s.op.nbytes},
+        })
+    return json.dumps({"traceEvents": events,
+                       "displayTimeUnit": "ms"})
+
+
+def engine_utilization(result: TimelineResult) -> dict[str, float]:
+    """Busy fraction of each engine over the iteration makespan."""
+    if result.makespan <= 0:
+        return {engine.value: 0.0 for engine in EngineKind}
+    return {engine.value: result.busy_time(engine) / result.makespan
+            for engine in EngineKind}

@@ -1,0 +1,171 @@
+"""Fluent builder for convolutional network graphs.
+
+Keeps track of spatial dimensions and channel counts so model definitions
+read like the original papers' tables (kernel / stride / pad / channels)
+while the builder derives output shapes, GEMM lowering, and DAG wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import Network, input_layer
+from repro.dnn.layers import Layer, LayerKind
+from repro.dnn.shapes import conv_gemm, fc_gemm
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """A named feature map with its spatial shape (H x W x C)."""
+
+    name: str
+    height: int
+    width: int
+    channels: int
+
+    @property
+    def elems(self) -> int:
+        return self.height * self.width * self.channels
+
+
+def conv_out_dim(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Standard convolution/pool output-dimension arithmetic."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"degenerate output dim: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}")
+    return out
+
+
+class NetBuilder:
+    """Builds a :class:`Network` layer by layer, tracking shapes."""
+
+    def __init__(self, name: str) -> None:
+        self.net = Network(name)
+        self._counter: dict[str, int] = {}
+
+    def _unique(self, prefix: str) -> str:
+        index = self._counter.get(prefix, 0) + 1
+        self._counter[prefix] = index
+        return f"{prefix}{index}"
+
+    # -- Layer constructors -------------------------------------------------
+
+    def image_input(self, height: int, width: int, channels: int,
+                    name: str = "data") -> TensorRef:
+        self.net.add_layer(input_layer(name, height * width * channels))
+        return TensorRef(name, height, width, channels)
+
+    def conv(self, src: TensorRef, out_channels: int, kernel: int,
+             stride: int = 1, pad: int = 0, name: str | None = None,
+             groups: int = 1) -> TensorRef:
+        """2-D convolution.  ``groups`` models AlexNet's split convs."""
+        if src.channels % groups or out_channels % groups:
+            raise ValueError("channels must divide groups")
+        oh = conv_out_dim(src.height, kernel, stride, pad)
+        ow = conv_out_dim(src.width, kernel, stride, pad)
+        name = name or self._unique("conv")
+        in_per_group = src.channels // groups
+        out_per_group = out_channels // groups
+        gemms = tuple(
+            conv_gemm(oh * ow, out_per_group, in_per_group, kernel * kernel)
+            for _ in range(groups))
+        weights = groups * out_per_group * in_per_group * kernel * kernel
+        self.net.add_layer(
+            Layer(name=name, kind=LayerKind.CONV,
+                  out_elems=oh * ow * out_channels,
+                  weight_elems=weights, gemms=gemms),
+            inputs=[src.name])
+        return TensorRef(name, oh, ow, out_channels)
+
+    def relu(self, src: TensorRef, name: str | None = None) -> TensorRef:
+        return self._eltwise(src, LayerKind.ACT, name or self._unique("relu"))
+
+    def lrn(self, src: TensorRef, name: str | None = None) -> TensorRef:
+        return self._eltwise(src, LayerKind.LRN, name or self._unique("lrn"))
+
+    def batchnorm(self, src: TensorRef, name: str | None = None) -> TensorRef:
+        name = name or self._unique("bn")
+        self.net.add_layer(
+            Layer(name=name, kind=LayerKind.BATCHNORM,
+                  out_elems=src.elems, weight_elems=2 * src.channels,
+                  stream_elems=2 * src.elems),
+            inputs=[src.name])
+        return TensorRef(name, src.height, src.width, src.channels)
+
+    def dropout(self, src: TensorRef, name: str | None = None) -> TensorRef:
+        return self._eltwise(src, LayerKind.DROPOUT,
+                             name or self._unique("drop"))
+
+    def _eltwise(self, src: TensorRef, kind: LayerKind,
+                 name: str) -> TensorRef:
+        self.net.add_layer(
+            Layer(name=name, kind=kind, out_elems=src.elems,
+                  stream_elems=2 * src.elems),
+            inputs=[src.name])
+        return TensorRef(name, src.height, src.width, src.channels)
+
+    def pool(self, src: TensorRef, kernel: int, stride: int,
+             pad: int = 0, name: str | None = None,
+             global_pool: bool = False) -> TensorRef:
+        name = name or self._unique("pool")
+        if global_pool:
+            oh = ow = 1
+        else:
+            oh = conv_out_dim(src.height, kernel, stride, pad)
+            ow = conv_out_dim(src.width, kernel, stride, pad)
+        self.net.add_layer(
+            Layer(name=name, kind=LayerKind.POOL,
+                  out_elems=oh * ow * src.channels,
+                  stream_elems=src.elems + oh * ow * src.channels),
+            inputs=[src.name])
+        return TensorRef(name, oh, ow, src.channels)
+
+    def concat(self, srcs: list[TensorRef],
+               name: str | None = None) -> TensorRef:
+        if not srcs:
+            raise ValueError("concat requires at least one input")
+        first = srcs[0]
+        if any((s.height, s.width) != (first.height, first.width)
+               for s in srcs):
+            raise ValueError("concat inputs must share spatial dims")
+        name = name or self._unique("concat")
+        channels = sum(s.channels for s in srcs)
+        elems = first.height * first.width * channels
+        self.net.add_layer(
+            Layer(name=name, kind=LayerKind.CONCAT, out_elems=elems,
+                  stream_elems=2 * elems),
+            inputs=[s.name for s in srcs])
+        return TensorRef(name, first.height, first.width, channels)
+
+    def add(self, lhs: TensorRef, rhs: TensorRef,
+            name: str | None = None) -> TensorRef:
+        if (lhs.height, lhs.width, lhs.channels) != \
+                (rhs.height, rhs.width, rhs.channels):
+            raise ValueError("eltwise-add inputs must have identical shape")
+        name = name or self._unique("add")
+        self.net.add_layer(
+            Layer(name=name, kind=LayerKind.ELTWISE, out_elems=lhs.elems,
+                  stream_elems=3 * lhs.elems),
+            inputs=[lhs.name, rhs.name])
+        return TensorRef(name, lhs.height, lhs.width, lhs.channels)
+
+    def fc(self, src: TensorRef, out_features: int,
+           name: str | None = None) -> TensorRef:
+        name = name or self._unique("fc")
+        in_features = src.elems
+        self.net.add_layer(
+            Layer(name=name, kind=LayerKind.FC, out_elems=out_features,
+                  weight_elems=in_features * out_features,
+                  gemms=(fc_gemm(out_features, in_features),)),
+            inputs=[src.name])
+        return TensorRef(name, 1, 1, out_features)
+
+    def softmax(self, src: TensorRef, name: str | None = None) -> TensorRef:
+        return self._eltwise(src, LayerKind.SOFTMAX,
+                             name or self._unique("softmax"))
+
+    def build(self) -> Network:
+        self.net.validate()
+        return self.net

@@ -1,0 +1,213 @@
+"""The network DAG.
+
+The paper's memory virtualization (Section II-B) hinges on the DL
+framework extracting a compile-time DAG of the network and using data
+dependencies to derive each tensor's *reuse distance*, which in turn
+schedules the offload/prefetch DMA operations.  :class:`Network` is that
+DAG: nodes are :class:`~repro.dnn.layers.Layer` objects, edges are
+producer -> consumer feature-map dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.dnn.layers import Layer, LayerKind
+from repro.units import FP32_BYTES
+
+
+class Network:
+    """A directed acyclic graph of layers with analysis helpers.
+
+    Layers are kept in insertion order, which must be a valid topological
+    order (builders construct networks front to back); this keeps
+    simulation schedules deterministic.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._order: list[str] = []
+
+    # -- Construction ------------------------------------------------------
+
+    def add_layer(self, layer: Layer, inputs: list[str] | None = None) -> Layer:
+        """Add ``layer``, wiring edges from each named producer."""
+        if layer.name in self._graph:
+            raise ValueError(f"duplicate layer name: {layer.name}")
+        for src in inputs or []:
+            if src not in self._graph:
+                raise ValueError(
+                    f"layer {layer.name} consumes unknown layer {src}")
+        self._graph.add_node(layer.name, layer=layer)
+        self._order.append(layer.name)
+        for src in inputs or []:
+            self._graph.add_edge(src, layer.name)
+        return layer
+
+    def validate(self) -> None:
+        """Check the invariants builders must maintain."""
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError(f"network {self.name} contains a cycle")
+        position = {name: i for i, name in enumerate(self._order)}
+        for src, dst in self._graph.edges:
+            if position[src] >= position[dst]:
+                raise ValueError(
+                    f"insertion order is not topological: {src} -> {dst}")
+        non_input = [n for n in self._order
+                     if self.layer(n).kind is not LayerKind.INPUT]
+        for name in non_input:
+            if not list(self._graph.predecessors(name)):
+                raise ValueError(f"non-input layer {name} has no producer")
+
+    # -- Accessors ---------------------------------------------------------
+
+    def layer(self, name: str) -> Layer:
+        return self._graph.nodes[name]["layer"]
+
+    @property
+    def layer_names(self) -> list[str]:
+        """Layer names in (topological) insertion order."""
+        return list(self._order)
+
+    @property
+    def layers(self) -> list[Layer]:
+        return [self.layer(n) for n in self._order]
+
+    def predecessors(self, name: str) -> list[str]:
+        preds = list(self._graph.predecessors(name))
+        position = {n: i for i, n in enumerate(self._order)}
+        return sorted(preds, key=position.__getitem__)
+
+    def successors(self, name: str) -> list[str]:
+        succs = list(self._graph.successors(name))
+        position = {n: i for i, n in enumerate(self._order)}
+        return sorted(succs, key=position.__getitem__)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    # -- Analyses ----------------------------------------------------------
+
+    def last_forward_consumer(self, name: str) -> str:
+        """The topologically-last layer that reads ``name``'s output.
+
+        A tensor becomes eligible for offload to the backing store only
+        after this layer's forward pass has run (Section IV: "pushes all
+        layers' feature maps to the backing store after its last reuse
+        during forward propagation").  A layer with no consumers is its
+        own last consumer.
+        """
+        succs = self.successors(name)
+        return succs[-1] if succs else name
+
+    def reuse_distance(self, name: str) -> int:
+        """Layers between last forward use and first backward use.
+
+        With forward order ``0..L-1`` and backward order ``L-1..0``, a
+        tensor produced by layer *i* and last consumed in forward by
+        layer *j* is next needed by layer *j*'s backward pass; the gap is
+        the number of layer computations in between -- the scheduling
+        slack available to hide its migration.
+        """
+        position = {n: i for i, n in enumerate(self._order)}
+        total = len(self._order)
+        last_use = position[self.last_forward_consumer(name)]
+        # Forward steps remaining after last use, plus backward steps
+        # until control returns to the consumer.
+        return 2 * (total - 1 - last_use)
+
+    @property
+    def learned_layer_count(self) -> int:
+        """Number of learned layers -- the paper's Table III layer count.
+
+        Counts convolutional and fully-connected layers (the convention
+        behind "AlexNet 8", "VGG-E 19", ...); batch-norm scale/shift
+        parameters are not counted as layers.  Recurrent networks count
+        each distinct cell (``weight_group``) once, not per timestep.
+        """
+        groups: set[str] = set()
+        count = 0
+        for layer in self.layers:
+            if layer.kind in (LayerKind.CONV, LayerKind.FC):
+                count += 1
+            elif layer.is_recurrent and layer.weight_group:
+                groups.add(layer.weight_group)
+        return count + len(groups)
+
+    def weight_bytes(self) -> int:
+        """Total unique weight bytes (shared groups counted once)."""
+        seen_groups: set[str] = set()
+        total = 0
+        for layer in self.layers:
+            if not layer.weight_elems:
+                continue
+            if layer.weight_group:
+                if layer.weight_group in seen_groups:
+                    continue
+                seen_groups.add(layer.weight_group)
+            total += layer.weight_bytes
+        return total
+
+    def feature_map_bytes(self, batch: int) -> int:
+        """Total forward feature-map bytes at a batch size (all layers)."""
+        return sum(layer.out_bytes(batch) for layer in self.layers)
+
+    def virtualized_bytes(self, batch: int) -> int:
+        """Feature-map bytes subject to offload (cheap layers excluded)."""
+        return sum(layer.out_bytes(batch) for layer in self.layers
+                   if not layer.is_cheap and layer.kind is not LayerKind.INPUT)
+
+    def training_footprint_bytes(self, batch: int) -> int:
+        """Memory needed to train without virtualization: O(N) in depth.
+
+        Counts weights, weight gradients, and every layer's forward
+        feature map (all retained for the backward pass).
+        """
+        return 2 * self.weight_bytes() + self.feature_map_bytes(batch)
+
+    def fwd_macs(self, batch: int) -> int:
+        return sum(layer.fwd_macs(batch) for layer in self.layers)
+
+    def bwd_macs(self, batch: int) -> int:
+        return sum(layer.bwd_macs(batch) for layer in self.layers)
+
+
+@dataclass(frozen=True)
+class NetworkSummary:
+    """Headline statistics of a network at a batch size (for reports)."""
+
+    name: str
+    layer_count: int
+    learned_layers: int
+    weight_mbytes: float
+    feature_map_mbytes: float
+    footprint_mbytes: float
+    fwd_gmacs: float
+
+    @staticmethod
+    def of(net: Network, batch: int) -> "NetworkSummary":
+        return NetworkSummary(
+            name=net.name,
+            layer_count=len(net),
+            learned_layers=net.learned_layer_count,
+            weight_mbytes=net.weight_bytes() / (1024 * 1024),
+            feature_map_mbytes=net.feature_map_bytes(batch) / (1024 * 1024),
+            footprint_mbytes=net.training_footprint_bytes(batch) / (1024 * 1024),
+            fwd_gmacs=net.fwd_macs(batch) / 1e9,
+        )
+
+
+def input_layer(name: str, elems: int) -> Layer:
+    """Convenience constructor for the network input pseudo-layer."""
+    return Layer(name=name, kind=LayerKind.INPUT, out_elems=elems)
+
+
+def fmap_edge_bytes(net: Network, src: str, batch: int) -> int:
+    """Bytes flowing along a producer edge at a batch size."""
+    return net.layer(src).out_elems * batch * FP32_BYTES

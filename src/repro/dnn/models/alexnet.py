@@ -1,0 +1,45 @@
+"""AlexNet (Krizhevsky et al., NIPS 2012) -- 8 learned layers.
+
+Dimensions follow the single-tower Caffe deployment (227x227 input);
+the grouped convolutions of the original two-GPU layout are kept
+(conv2/conv4/conv5 use groups=2), matching the parameter counts of the
+paper.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetBuilder
+from repro.dnn.graph import Network
+
+
+def build_alexnet() -> Network:
+    b = NetBuilder("AlexNet")
+    x = b.image_input(227, 227, 3)
+
+    x = b.conv(x, out_channels=96, kernel=11, stride=4, name="conv1")
+    x = b.relu(x)
+    x = b.lrn(x)
+    x = b.pool(x, kernel=3, stride=2)
+
+    x = b.conv(x, out_channels=256, kernel=5, pad=2, groups=2, name="conv2")
+    x = b.relu(x)
+    x = b.lrn(x)
+    x = b.pool(x, kernel=3, stride=2)
+
+    x = b.conv(x, out_channels=384, kernel=3, pad=1, name="conv3")
+    x = b.relu(x)
+    x = b.conv(x, out_channels=384, kernel=3, pad=1, groups=2, name="conv4")
+    x = b.relu(x)
+    x = b.conv(x, out_channels=256, kernel=3, pad=1, groups=2, name="conv5")
+    x = b.relu(x)
+    x = b.pool(x, kernel=3, stride=2)
+
+    x = b.fc(x, 4096, name="fc6")
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.fc(x, 4096, name="fc7")
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.fc(x, 1000, name="fc8")
+    b.softmax(x)
+    return b.build()

@@ -1,0 +1,81 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015).
+
+3 stem convolutions + 9 inception modules x 6 convolutions + 1 FC
+classifier = 58 learned layers, matching Table III ("GoogLeNet, 58").
+Auxiliary classifiers are training-time-only heads that the benchmark
+suite (and most training configs) omit.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetBuilder, TensorRef
+from repro.dnn.graph import Network
+
+# (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool-proj) channel counts for
+# the nine inception modules, in network order.
+_INCEPTION = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(b: NetBuilder, x: TensorRef, tag: str) -> TensorRef:
+    """One inception module: four parallel branches concatenated."""
+    c1, c3r, c3, c5r, c5, cp = _INCEPTION[tag]
+
+    branch1 = b.relu(b.conv(x, c1, kernel=1, name=f"inc{tag}_1x1"))
+
+    branch3 = b.relu(b.conv(x, c3r, kernel=1, name=f"inc{tag}_3x3r"))
+    branch3 = b.relu(b.conv(branch3, c3, kernel=3, pad=1,
+                            name=f"inc{tag}_3x3"))
+
+    branch5 = b.relu(b.conv(x, c5r, kernel=1, name=f"inc{tag}_5x5r"))
+    branch5 = b.relu(b.conv(branch5, c5, kernel=5, pad=2,
+                            name=f"inc{tag}_5x5"))
+
+    pooled = b.pool(x, kernel=3, stride=1, pad=1, name=f"inc{tag}_pool")
+    branchp = b.relu(b.conv(pooled, cp, kernel=1, name=f"inc{tag}_proj"))
+
+    return b.concat([branch1, branch3, branch5, branchp],
+                    name=f"inc{tag}_out")
+
+
+def build_googlenet() -> Network:
+    b = NetBuilder("GoogLeNet")
+    x = b.image_input(224, 224, 3)
+
+    x = b.conv(x, 64, kernel=7, stride=2, pad=3, name="conv1")
+    x = b.relu(x)
+    x = b.pool(x, kernel=3, stride=2, pad=1)
+    x = b.lrn(x)
+
+    x = b.conv(x, 64, kernel=1, name="conv2_reduce")
+    x = b.relu(x)
+    x = b.conv(x, 192, kernel=3, pad=1, name="conv2")
+    x = b.relu(x)
+    x = b.lrn(x)
+    x = b.pool(x, kernel=3, stride=2, pad=1)
+
+    x = _inception(b, x, "3a")
+    x = _inception(b, x, "3b")
+    x = b.pool(x, kernel=3, stride=2, pad=1)
+
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        x = _inception(b, x, tag)
+    x = b.pool(x, kernel=3, stride=2, pad=1)
+
+    x = _inception(b, x, "5a")
+    x = _inception(b, x, "5b")
+
+    x = b.pool(x, kernel=7, stride=1, global_pool=True, name="avgpool")
+    x = b.dropout(x)
+    x = b.fc(x, 1000, name="fc")
+    b.softmax(x)
+    return b.build()

@@ -1,0 +1,65 @@
+"""ResNet-34 (He et al., CVPR 2016).
+
+1 stem convolution + 16 basic blocks x 2 convolutions + 1 FC = 34 learned
+layers, matching Table III ("ResNet, 34").  Shortcuts use the
+parameter-free option A (stride-2 subsample + zero-padded channels) so
+the learned-layer count matches the network's name exactly.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetBuilder, TensorRef
+from repro.dnn.graph import Network
+from repro.dnn.layers import Layer, LayerKind
+
+# (block count, channels) per stage; stages after the first downsample.
+_STAGES = ((3, 64), (4, 128), (6, 256), (3, 512))
+
+
+def _shortcut(b: NetBuilder, x: TensorRef, channels: int,
+              stride: int, name: str) -> TensorRef:
+    """Option-A shortcut: identity, or subsample + zero-pad channels."""
+    if stride == 1 and x.channels == channels:
+        return x
+    height = x.height // stride
+    width = x.width // stride
+    elems = height * width * channels
+    b.net.add_layer(
+        Layer(name=name, kind=LayerKind.POOL, out_elems=elems,
+              stream_elems=x.elems + elems),
+        inputs=[x.name])
+    return TensorRef(name, height, width, channels)
+
+
+def _basic_block(b: NetBuilder, x: TensorRef, channels: int,
+                 stride: int, tag: str) -> TensorRef:
+    out = b.conv(x, channels, kernel=3, stride=stride, pad=1,
+                 name=f"{tag}_conv1")
+    out = b.batchnorm(out, name=f"{tag}_bn1")
+    out = b.relu(out, name=f"{tag}_relu1")
+    out = b.conv(out, channels, kernel=3, pad=1, name=f"{tag}_conv2")
+    out = b.batchnorm(out, name=f"{tag}_bn2")
+    identity = _shortcut(b, x, channels, stride, f"{tag}_short")
+    out = b.add(out, identity, name=f"{tag}_add")
+    return b.relu(out, name=f"{tag}_relu2")
+
+
+def build_resnet34() -> Network:
+    b = NetBuilder("ResNet")
+    x = b.image_input(224, 224, 3)
+
+    x = b.conv(x, 64, kernel=7, stride=2, pad=3, name="conv1")
+    x = b.batchnorm(x, name="bn1")
+    x = b.relu(x)
+    x = b.pool(x, kernel=3, stride=2, pad=1)
+
+    for stage_index, (blocks, channels) in enumerate(_STAGES, start=1):
+        for block_index in range(1, blocks + 1):
+            stride = 2 if stage_index > 1 and block_index == 1 else 1
+            x = _basic_block(b, x, channels, stride,
+                             tag=f"s{stage_index}b{block_index}")
+
+    x = b.pool(x, kernel=7, stride=1, global_pool=True, name="avgpool")
+    x = b.fc(x, 1000, name="fc")
+    b.softmax(x)
+    return b.build()

@@ -1,0 +1,128 @@
+"""Recurrent benchmark networks from Baidu's DeepBench suite.
+
+The paper (Table III) evaluates four RNN applications: a GEMV-based
+vanilla RNN (speech recognition, 50 timesteps), two LSTMs (machine
+translation, 25 timesteps; language modeling, 25 timesteps), and a GRU
+(speech recognition, 187 timesteps).  Hidden sizes follow the DeepBench
+configurations for those application domains.
+
+Each timestep is materialized as one cell layer in the DAG: cells share
+weights via ``weight_group`` but each timestep's state (hidden, and cell
+state for LSTMs) is a distinct feature map that backpropagation-through-
+time must retain -- which is exactly what the memory virtualization
+runtime migrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import Network, input_layer
+from repro.dnn.layers import Layer, LayerKind
+from repro.dnn.shapes import rnn_gemm
+
+
+@dataclass(frozen=True)
+class RnnSpec:
+    """Configuration of a single-layer recurrent benchmark."""
+
+    name: str
+    kind: LayerKind
+    hidden: int
+    input_dim: int
+    timesteps: int
+
+    @property
+    def gates(self) -> int:
+        """Gate multiplier: 1 (vanilla), 4 (LSTM), 3 (GRU)."""
+        if self.kind is LayerKind.LSTM_CELL:
+            return 4
+        if self.kind is LayerKind.GRU_CELL:
+            return 3
+        return 1
+
+    @property
+    def state_elems(self) -> int:
+        """Per-timestep state retained for backpropagation-through-time.
+
+        The chain rule needs the gate activations, not just the output:
+        a vanilla cell keeps its pre-activation and hidden state (2h);
+        an LSTM keeps four gates, the cell state, and the hidden state
+        (6h); a GRU keeps three gates and the hidden state (4h).
+        """
+        if self.kind is LayerKind.LSTM_CELL:
+            return 6 * self.hidden
+        if self.kind is LayerKind.GRU_CELL:
+            return 4 * self.hidden
+        return 2 * self.hidden
+
+    @property
+    def weight_elems(self) -> int:
+        """Input-to-hidden plus hidden-to-hidden weights."""
+        return self.gates * self.hidden * (self.input_dim + self.hidden)
+
+
+# DeepBench-derived configurations; timesteps match Table III exactly.
+RNN_SPECS = {
+    "RNN-GEMV": RnnSpec("RNN-GEMV", LayerKind.RNN_CELL,
+                        hidden=2560, input_dim=2560, timesteps=50),
+    "RNN-LSTM-1": RnnSpec("RNN-LSTM-1", LayerKind.LSTM_CELL,
+                          hidden=1024, input_dim=1024, timesteps=25),
+    "RNN-LSTM-2": RnnSpec("RNN-LSTM-2", LayerKind.LSTM_CELL,
+                          hidden=8192, input_dim=1024, timesteps=25),
+    "RNN-GRU": RnnSpec("RNN-GRU", LayerKind.GRU_CELL,
+                       hidden=2816, input_dim=2816, timesteps=187),
+}
+
+
+def build_rnn(spec: RnnSpec) -> Network:
+    """Unroll ``spec`` into a DAG with one cell layer per timestep.
+
+    Each timestep gets its own input slice ``x_t{t}`` so that data
+    dependencies (and model-parallel gradient reductions) are sized per
+    step, not per sequence.
+    """
+    net = Network(spec.name)
+    group = f"{spec.name}_cell"
+
+    gate_features = spec.gates * spec.hidden
+    gemms = (rnn_gemm(gate_features, spec.input_dim),
+             rnn_gemm(gate_features, spec.hidden))
+
+    previous = None
+    for t in range(spec.timesteps):
+        slice_name = f"x_t{t}"
+        net.add_layer(input_layer(slice_name, spec.input_dim))
+        inputs = [slice_name] if previous is None \
+            else [slice_name, previous]
+        cell = Layer(
+            name=f"cell_t{t}",
+            kind=spec.kind,
+            out_elems=spec.state_elems,
+            weight_elems=spec.weight_elems,
+            gemms=gemms,
+            # Gate non-linearities stream the full gate activations.
+            stream_elems=2 * gate_features,
+            weight_group=group,
+        )
+        net.add_layer(cell, inputs=inputs)
+        previous = cell.name
+
+    net.validate()
+    return net
+
+
+def build_rnn_gemv() -> Network:
+    return build_rnn(RNN_SPECS["RNN-GEMV"])
+
+
+def build_rnn_lstm1() -> Network:
+    return build_rnn(RNN_SPECS["RNN-LSTM-1"])
+
+
+def build_rnn_lstm2() -> Network:
+    return build_rnn(RNN_SPECS["RNN-LSTM-2"])
+
+
+def build_rnn_gru() -> Network:
+    return build_rnn(RNN_SPECS["RNN-GRU"])

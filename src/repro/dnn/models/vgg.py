@@ -1,0 +1,35 @@
+"""VGG configuration E, i.e. VGG-19 (Simonyan & Zisserman, 2015).
+
+16 convolutional layers + 3 fully-connected layers = 19 learned layers,
+matching Table III of the paper ("VGG-E, 19 layers").
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetBuilder, TensorRef
+from repro.dnn.graph import Network
+
+# Convolutions per stage for configuration E; every stage doubles
+# channels (capped at 512) and ends with a 2x2/2 max-pool.
+_STAGES = ((2, 64), (2, 128), (4, 256), (4, 512), (4, 512))
+
+
+def build_vgg_e() -> Network:
+    b = NetBuilder("VGG-E")
+    x: TensorRef = b.image_input(224, 224, 3)
+    for stage_index, (conv_count, channels) in enumerate(_STAGES, start=1):
+        for conv_index in range(1, conv_count + 1):
+            x = b.conv(x, out_channels=channels, kernel=3, pad=1,
+                       name=f"conv{stage_index}_{conv_index}")
+            x = b.relu(x)
+        x = b.pool(x, kernel=2, stride=2)
+
+    x = b.fc(x, 4096, name="fc6")
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.fc(x, 4096, name="fc7")
+    x = b.relu(x)
+    x = b.dropout(x)
+    x = b.fc(x, 1000, name="fc8")
+    b.softmax(x)
+    return b.build()

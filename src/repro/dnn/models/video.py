@@ -1,0 +1,90 @@
+"""A video-understanding workload (paper Section V-E).
+
+State-of-the-art video captioning/QA models combine a per-frame CNN
+encoder with recurrent layers (S2VT-style); training them end to end
+blows past single-device memory, forcing practitioners to freeze parts
+of the model or crop frames/timesteps.  This builder composes a VGG-
+style frame encoder with an LSTM decoder over ``frames`` timesteps --
+the class of workload MC-DLA's expanded memory pool unlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.builder import NetBuilder, TensorRef
+from repro.dnn.graph import Network
+from repro.dnn.layers import Layer, LayerKind
+from repro.dnn.shapes import rnn_gemm
+
+
+@dataclass(frozen=True)
+class VideoSpec:
+    """Configuration of the video-to-text workload."""
+
+    frames: int = 16            # video frames per clip
+    frame_size: int = 224       # input resolution
+    encoder_channels: int = 64  # first-stage width (VGG-style doubling)
+    hidden: int = 1024          # LSTM decoder width
+    caption_steps: int = 20     # decoder timesteps
+
+    def __post_init__(self) -> None:
+        if min(self.frames, self.frame_size, self.encoder_channels,
+               self.hidden, self.caption_steps) <= 0:
+            raise ValueError("all video-spec fields must be positive")
+
+
+def _frame_encoder(b: NetBuilder, x: TensorRef, frame: int,
+                   base_channels: int) -> TensorRef:
+    """A compact VGG-style tower shared per frame (weights per frame
+    are distinct here: end-to-end training, nothing frozen)."""
+    channels = base_channels
+    for stage in range(1, 5):
+        x = b.conv(x, channels, kernel=3, pad=1,
+                   name=f"f{frame}_conv{stage}")
+        x = b.relu(x, name=f"f{frame}_relu{stage}")
+        x = b.pool(x, kernel=2, stride=2, name=f"f{frame}_pool{stage}")
+        channels = min(2 * channels, 512)
+    return b.pool(x, kernel=x.height, stride=1, global_pool=True,
+                  name=f"f{frame}_gap")
+
+
+def build_video_net(spec: VideoSpec = VideoSpec()) -> Network:
+    """Frames -> CNN encoders -> LSTM over frames -> caption decoder."""
+    b = NetBuilder("Video-CNN-LSTM")
+
+    features = []
+    for frame in range(spec.frames):
+        x = b.image_input(spec.frame_size, spec.frame_size, 3,
+                          name=f"frame{frame}")
+        features.append(_frame_encoder(b, x, frame,
+                                       spec.encoder_channels))
+
+    gates = 4 * spec.hidden
+    previous: str | None = None
+    for t, feat in enumerate(features):
+        inputs = [feat.name] if previous is None \
+            else [feat.name, previous]
+        cell = Layer(name=f"enc_lstm_t{t}", kind=LayerKind.LSTM_CELL,
+                     out_elems=6 * spec.hidden,
+                     weight_elems=gates * (feat.elems + spec.hidden),
+                     gemms=(rnn_gemm(gates, feat.elems),
+                            rnn_gemm(gates, spec.hidden)),
+                     stream_elems=2 * gates,
+                     weight_group="enc_lstm")
+        b.net.add_layer(cell, inputs=inputs)
+        previous = cell.name
+
+    for t in range(spec.caption_steps):
+        cell = Layer(name=f"dec_lstm_t{t}", kind=LayerKind.LSTM_CELL,
+                     out_elems=6 * spec.hidden,
+                     weight_elems=gates * 2 * spec.hidden,
+                     gemms=(rnn_gemm(gates, spec.hidden),
+                            rnn_gemm(gates, spec.hidden)),
+                     stream_elems=2 * gates,
+                     weight_group="dec_lstm")
+        b.net.add_layer(cell, inputs=[previous])
+        previous = cell.name
+
+    net = b.build()
+    return net

@@ -1,0 +1,71 @@
+"""Benchmark registry: the eight applications of the paper's Table III."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.dnn.graph import Network
+from repro.dnn.models.alexnet import build_alexnet
+from repro.dnn.models.googlenet import build_googlenet
+from repro.dnn.models.resnet import build_resnet34
+from repro.dnn.models.rnn import (build_rnn_gemv, build_rnn_gru,
+                                  build_rnn_lstm1, build_rnn_lstm2)
+from repro.dnn.models.vgg import build_vgg_e
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """One row of Table III."""
+
+    name: str
+    application: str
+    detail: str          # "# of layers" for CNNs, "Timesteps" for RNNs
+    builder: Callable[[], Network]
+    is_cnn: bool
+
+
+_BENCHMARKS: tuple[BenchmarkInfo, ...] = (
+    BenchmarkInfo("AlexNet", "Image recognition", "8 layers",
+                  build_alexnet, True),
+    BenchmarkInfo("GoogLeNet", "Image recognition", "58 layers",
+                  build_googlenet, True),
+    BenchmarkInfo("VGG-E", "Image recognition", "19 layers",
+                  build_vgg_e, True),
+    BenchmarkInfo("ResNet", "Image recognition", "34 layers",
+                  build_resnet34, True),
+    BenchmarkInfo("RNN-GEMV", "Speech recognition", "50 timesteps",
+                  build_rnn_gemv, False),
+    BenchmarkInfo("RNN-LSTM-1", "Machine translation", "25 timesteps",
+                  build_rnn_lstm1, False),
+    BenchmarkInfo("RNN-LSTM-2", "Language modeling", "25 timesteps",
+                  build_rnn_lstm2, False),
+    BenchmarkInfo("RNN-GRU", "Speech recognition", "187 timesteps",
+                  build_rnn_gru, False),
+)
+
+#: Benchmark names in the paper's presentation order.
+BENCHMARK_NAMES: tuple[str, ...] = tuple(b.name for b in _BENCHMARKS)
+CNN_NAMES: tuple[str, ...] = tuple(b.name for b in _BENCHMARKS if b.is_cnn)
+RNN_NAMES: tuple[str, ...] = tuple(
+    b.name for b in _BENCHMARKS if not b.is_cnn)
+
+
+def benchmark_info(name: str) -> BenchmarkInfo:
+    """Look up a Table III row by name."""
+    for info in _BENCHMARKS:
+        if info.name == name:
+            return info
+    raise KeyError(f"unknown benchmark {name!r}; "
+                   f"known: {', '.join(BENCHMARK_NAMES)}")
+
+
+@lru_cache(maxsize=None)
+def build_network(name: str) -> Network:
+    """Build (and cache) a benchmark network by Table III name."""
+    return benchmark_info(name).builder()
+
+
+def all_benchmarks() -> list[BenchmarkInfo]:
+    return list(_BENCHMARKS)

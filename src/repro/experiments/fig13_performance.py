@@ -1,0 +1,106 @@
+"""Figure 13: performance of the six design points.
+
+Throughput normalized to the oracle DC-DLA(O), per workload, for (a)
+data-parallel and (b) model-parallel training, plus the paper's
+headline aggregates: MC-DLA(B) speedup over DC-DLA (3.5x DP, 2.1x MP,
+2.8x overall), HC-DLA's 32%/38% gains, MC-DLA(B) at 84-99% of the
+oracle, MC-DLA(L) at ~96% of MC-DLA(B), and MC-DLA(S)'s ~14% average
+loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.design_points import DESIGN_ORDER
+from repro.dnn.registry import BENCHMARK_NAMES
+from repro.experiments.matrix import (STRATEGIES, EvaluationMatrix,
+                                      evaluation_matrix)
+from repro.experiments.report import format_table
+from repro.training.parallel import ParallelStrategy
+from repro.units import harmonic_mean
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    batch: int
+    #: (strategy, network, design) -> performance normalized to oracle.
+    performance: dict[tuple[ParallelStrategy, str, str], float]
+
+    def perf(self, strategy: ParallelStrategy, network: str,
+             design: str) -> float:
+        return self.performance[(strategy, network, design)]
+
+    def speedups(self, design: str, strategy: ParallelStrategy,
+                 baseline: str = "DC-DLA") -> list[float]:
+        return [self.perf(strategy, n, design)
+                / self.perf(strategy, n, baseline)
+                for n in BENCHMARK_NAMES]
+
+    def mean_speedup(self, design: str,
+                     strategy: ParallelStrategy | None = None,
+                     baseline: str = "DC-DLA") -> float:
+        """Harmonic-mean speedup; both strategies pooled when None."""
+        if strategy is not None:
+            return harmonic_mean(self.speedups(design, strategy, baseline))
+        pooled = []
+        for strat in STRATEGIES:
+            pooled.extend(self.speedups(design, strat, baseline))
+        return harmonic_mean(pooled)
+
+    def oracle_fraction_range(self, design: str = "MC-DLA(B)") \
+            -> tuple[float, float, float]:
+        """(min, harmonic mean, max) of design/oracle across the grid."""
+        fracs = [self.perf(s, n, design)
+                 for s in STRATEGIES for n in BENCHMARK_NAMES]
+        return min(fracs), harmonic_mean(fracs), max(fracs)
+
+
+def run_fig13(batch: int = 512,
+              matrix: EvaluationMatrix | None = None) -> Fig13Result:
+    matrix = matrix or evaluation_matrix(batch)
+    performance = {}
+    for strategy in STRATEGIES:
+        for network in BENCHMARK_NAMES:
+            for design in DESIGN_ORDER:
+                performance[(strategy, network, design)] = \
+                    matrix.performance(design, network, strategy)
+    return Fig13Result(batch=batch, performance=performance)
+
+
+def format_fig13(result: Fig13Result) -> str:
+    sections = []
+    for strategy, label in ((ParallelStrategy.DATA, "(a) data-parallel"),
+                            (ParallelStrategy.MODEL,
+                             "(b) model-parallel")):
+        rows = [[network] + [result.perf(strategy, network, design)
+                             for design in DESIGN_ORDER]
+                for network in BENCHMARK_NAMES]
+        sections.append(format_table(
+            ["network", *DESIGN_ORDER], rows,
+            title=f"Figure 13{label}: performance normalized to "
+                  "DC-DLA(O)"))
+
+    lo, mean, hi = result.oracle_fraction_range()
+    summary = [
+        f"MC-DLA(B) over DC-DLA: "
+        f"{result.mean_speedup('MC-DLA(B)', ParallelStrategy.DATA):.2f}x "
+        f"DP (paper 3.5x), "
+        f"{result.mean_speedup('MC-DLA(B)', ParallelStrategy.MODEL):.2f}x "
+        f"MP (paper 2.1x), "
+        f"{result.mean_speedup('MC-DLA(B)'):.2f}x overall (paper 2.8x)",
+        f"HC-DLA over DC-DLA: "
+        f"{result.mean_speedup('HC-DLA', ParallelStrategy.DATA):.2f}x DP "
+        f"(paper 1.32x), "
+        f"{result.mean_speedup('HC-DLA', ParallelStrategy.MODEL):.2f}x MP "
+        f"(paper 1.38x)",
+        f"MC-DLA(B) vs oracle: {lo * 100:.0f}%-{hi * 100:.0f}%, "
+        f"mean {mean * 100:.0f}% (paper 84%-99%, mean 95%)",
+        f"MC-DLA(L) achieves "
+        f"{result.mean_speedup('MC-DLA(L)') / result.mean_speedup('MC-DLA(B)') * 100:.0f}% "
+        f"of MC-DLA(B) (paper ~96%)",
+        f"MC-DLA(S) loses "
+        f"{(1 - result.mean_speedup('MC-DLA(S)') / result.mean_speedup('MC-DLA(B)')) * 100:.0f}% "
+        f"vs MC-DLA(B) (paper avg 14%, max 24%)",
+    ]
+    return "\n".join(sections) + "\n" + "\n".join(summary)

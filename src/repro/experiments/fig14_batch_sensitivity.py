@@ -1,0 +1,71 @@
+"""Figure 14: MC-DLA(B) speedup sensitivity to the input batch size.
+
+MC-DLA(B) over DC-DLA for batch sizes 128 / 256 / 1024 / 2048, per
+workload and per strategy, with harmonic means.  The paper reports an
+average 2.17x across all batch sizes, demonstrating robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.registry import BENCHMARK_NAMES
+from repro.experiments.matrix import (STRATEGIES, evaluation_matrix)
+from repro.experiments.report import format_table
+from repro.training.parallel import ParallelStrategy
+from repro.units import harmonic_mean
+
+BATCH_SIZES = (128, 256, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    batches: tuple[int, ...]
+    #: (batch, strategy, network) -> MC-DLA(B)/DC-DLA speedup.
+    speedups: dict[tuple[int, ParallelStrategy, str], float]
+
+    def speedup(self, batch: int, strategy: ParallelStrategy,
+                network: str) -> float:
+        return self.speedups[(batch, strategy, network)]
+
+    def batch_mean(self, batch: int,
+                   strategy: ParallelStrategy | None = None) -> float:
+        values = [v for (b, s, _), v in self.speedups.items()
+                  if b == batch and (strategy is None or s is strategy)]
+        return harmonic_mean(values)
+
+    @property
+    def overall_mean(self) -> float:
+        """Across every batch size and strategy (paper: 2.17x)."""
+        return harmonic_mean(list(self.speedups.values()))
+
+
+def run_fig14(batches: tuple[int, ...] = BATCH_SIZES) -> Fig14Result:
+    speedups = {}
+    for batch in batches:
+        matrix = evaluation_matrix(batch)
+        for strategy in STRATEGIES:
+            for network in BENCHMARK_NAMES:
+                speedups[(batch, strategy, network)] = matrix.speedup(
+                    "MC-DLA(B)", network, strategy)
+    return Fig14Result(batches=tuple(batches), speedups=speedups)
+
+
+def format_fig14(result: Fig14Result) -> str:
+    rows = []
+    for batch in result.batches:
+        for network in BENCHMARK_NAMES:
+            rows.append([
+                batch, network,
+                result.speedup(batch, ParallelStrategy.DATA, network),
+                result.speedup(batch, ParallelStrategy.MODEL, network),
+            ])
+        rows.append([batch, "HarMean",
+                     result.batch_mean(batch, ParallelStrategy.DATA),
+                     result.batch_mean(batch, ParallelStrategy.MODEL)])
+    table = format_table(
+        ["batch", "network", "data-parallel", "model-parallel"], rows,
+        title="Figure 14: MC-DLA(B) speedup over DC-DLA vs batch size")
+    return (f"{table}\n"
+            f"Average across all batch sizes: "
+            f"{result.overall_mean:.2f}x (paper: 2.17x)")

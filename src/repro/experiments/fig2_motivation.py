@@ -1,0 +1,88 @@
+"""Figure 2: the widening device/PCIe gap (motivation).
+
+For each of five accelerator generations, run the four CNNs on a single
+device with PCIe-gen3 memory virtualization and without (oracle), and
+report (a) execution time normalized to the slowest generation and (b)
+the virtualization overhead percentage -- which grows as devices get
+faster while the host link does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.generations import GENERATIONS
+from repro.core.design_points import single_device, single_device_oracle
+from repro.core.simulator import simulate
+from repro.dnn.registry import CNN_NAMES
+from repro.experiments.report import format_table, percent
+from repro.training.parallel import ParallelStrategy
+
+
+@dataclass(frozen=True)
+class Fig2Point:
+    network: str
+    generation: str
+    time_virtualized: float
+    time_oracle: float
+
+    @property
+    def overhead(self) -> float:
+        """Fraction of runtime lost to memory virtualization."""
+        return (self.time_virtualized - self.time_oracle) \
+            / self.time_virtualized
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    points: tuple[Fig2Point, ...]
+
+    def series(self, network: str) -> list[Fig2Point]:
+        return [p for p in self.points if p.network == network]
+
+    def normalized_time(self, point: Fig2Point) -> float:
+        """Native execution time normalized to the slowest device.
+
+        The figure's left axis plots device execution time (which fell
+        20-34x over five years); the right axis plots what PCIe-based
+        virtualization would add on top -- the widening gap.
+        """
+        slowest = max(p.time_oracle for p in self.series(point.network))
+        return point.time_oracle / slowest
+
+    def generation_speedup(self, network: str) -> float:
+        """Oldest-to-newest compute speedup (paper: 20x-34x)."""
+        series = self.series(network)
+        return series[0].time_oracle / series[-1].time_oracle
+
+
+def run_fig2(batch: int = 256) -> Fig2Result:
+    """Figure 2 uses a single device; a moderate batch keeps the oldest
+    generations' footprints realistic."""
+    points = []
+    for network in CNN_NAMES:
+        for device in GENERATIONS:
+            virt = simulate(single_device(f"{device.name}-virt", device),
+                            network, batch, ParallelStrategy.DATA)
+            oracle = simulate(
+                single_device_oracle(f"{device.name}-oracle", device),
+                network, batch, ParallelStrategy.DATA)
+            points.append(Fig2Point(network, device.name,
+                                    virt.iteration_time,
+                                    oracle.iteration_time))
+    return Fig2Result(points=tuple(points))
+
+
+def format_fig2(result: Fig2Result) -> str:
+    rows = []
+    for point in result.points:
+        rows.append([point.network, point.generation,
+                     result.normalized_time(point),
+                     percent(point.overhead)])
+    table = format_table(
+        ["network", "device", "time (norm)", "virt overhead"], rows,
+        title="Figure 2: exec time across device generations and "
+              "PCIe virtualization overhead")
+    gains = [f"{n}: {result.generation_speedup(n):.1f}x"
+             for n in CNN_NAMES]
+    return table + "\nKepler->TPUv2 compute speedup: " + ", ".join(gains)

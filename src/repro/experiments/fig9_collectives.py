@@ -1,0 +1,65 @@
+"""Figure 9: collective latency vs number of nodes in the ring.
+
+Latency of broadcast / all-gather / all-reduce on rings of 2..36 nodes,
+normalized to the 2-node ring, with 50 GB/s bi-directional links, 4 KB
+message granularity, and an 8 MB target synchronization size.  The
+paper's headline: the 16-node MC-DLA ring costs ~7% over the 8-node
+DC-DLA ring for all-reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.ring_algorithm import (DEFAULT_SPEC, CollectiveSpec,
+                                              Primitive, collective_time)
+from repro.experiments.report import format_series, percent
+from repro.units import GBPS, MB
+
+RING_SIZES = tuple(range(2, 37, 2))
+LINK_BW = 50 * GBPS
+SYNC_BYTES = 8 * MB
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    sizes: tuple[int, ...]
+    #: primitive -> latency series normalized to the 2-node ring.
+    normalized: dict[Primitive, tuple[float, ...]]
+    #: primitive -> absolute latency series (seconds).
+    absolute: dict[Primitive, tuple[float, ...]]
+
+    def at(self, primitive: Primitive, n_nodes: int) -> float:
+        return self.normalized[primitive][self.sizes.index(n_nodes)]
+
+    @property
+    def mc_dla_overhead(self) -> float:
+        """All-reduce penalty of 16 ring nodes vs 8 (paper: ~7%)."""
+        return self.at(Primitive.ALL_REDUCE, 16) \
+            / self.at(Primitive.ALL_REDUCE, 8) - 1.0
+
+
+def run_fig9(sync_bytes: int = SYNC_BYTES, link_bw: float = LINK_BW,
+             spec: CollectiveSpec = DEFAULT_SPEC) -> Fig9Result:
+    normalized: dict[Primitive, tuple[float, ...]] = {}
+    absolute: dict[Primitive, tuple[float, ...]] = {}
+    for primitive in Primitive:
+        series = [collective_time(primitive, n, sync_bytes, link_bw, spec)
+                  for n in RING_SIZES]
+        base = series[0]
+        absolute[primitive] = tuple(series)
+        normalized[primitive] = tuple(t / base for t in series)
+    return Fig9Result(sizes=RING_SIZES, normalized=normalized,
+                      absolute=absolute)
+
+
+def format_fig9(result: Fig9Result) -> str:
+    lines = ["Figure 9: collective latency vs ring size "
+             "(normalized to 2 nodes)"]
+    for primitive in Primitive:
+        lines.append(format_series(primitive.value, result.sizes,
+                                   result.normalized[primitive]))
+    lines.append(
+        f"MC-DLA(16) vs DC-DLA(8) all-reduce overhead: "
+        f"{percent(result.mc_dla_overhead)} (paper: ~7%)")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""The shared evaluation matrix: 6 designs x 8 workloads x 2 strategies.
+
+Figures 11, 12, and 13 all read from this grid; running it once and
+caching keeps the benchmark harness fast and the numbers consistent
+across figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.design_points import DESIGN_ORDER, design_point
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import simulate
+from repro.dnn.registry import BENCHMARK_NAMES
+from repro.training.parallel import ParallelStrategy
+
+STRATEGIES = (ParallelStrategy.DATA, ParallelStrategy.MODEL)
+
+
+@dataclass(frozen=True)
+class EvaluationMatrix:
+    """All (design, workload, strategy) simulation results."""
+
+    batch: int
+    results: dict[tuple[str, str, ParallelStrategy], SimulationResult]
+
+    def result(self, design: str, network: str,
+               strategy: ParallelStrategy) -> SimulationResult:
+        return self.results[(design, network, strategy)]
+
+    def speedup(self, design: str, network: str,
+                strategy: ParallelStrategy,
+                baseline: str = "DC-DLA") -> float:
+        return self.result(design, network, strategy).speedup_over(
+            self.result(baseline, network, strategy))
+
+    def performance(self, design: str, network: str,
+                    strategy: ParallelStrategy,
+                    reference: str = "DC-DLA(O)") -> float:
+        """Throughput normalized to the oracle (Figure 13's y-axis)."""
+        return self.result(design, network, strategy).performance_vs(
+            self.result(reference, network, strategy))
+
+
+@lru_cache(maxsize=4)
+def evaluation_matrix(batch: int = 512) -> EvaluationMatrix:
+    """Run (and cache) the full grid at a batch size."""
+    results = {}
+    configs = {name: design_point(name) for name in DESIGN_ORDER}
+    for strategy in STRATEGIES:
+        for network in BENCHMARK_NAMES:
+            for design, config in configs.items():
+                results[(design, network, strategy)] = simulate(
+                    config, network, batch, strategy)
+    return EvaluationMatrix(batch=batch, results=results)

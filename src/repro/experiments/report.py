@@ -1,0 +1,91 @@
+"""ASCII rendering helpers shared by the experiment harness.
+
+Every experiment prints the same rows/series the paper's figures plot,
+as plain-text tables, so benchmark logs double as the reproduction
+record (EXPERIMENTS.md is generated from these).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width table; floats get 3 significant decimals."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return " | ".join(v.ljust(w) for v, w in zip(values, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence[object],
+                  ys: Sequence[float]) -> str:
+    """Render one plotted series as ``name: x=y`` pairs."""
+    pairs = ", ".join(f"{x}={y:.3f}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def percent(fraction: float) -> str:
+    return f"{100.0 * fraction:.1f}%"
+
+
+def format_bars(labels: Sequence[str], values: Sequence[float],
+                width: int = 48, title: str = "") -> str:
+    """Render a horizontal ASCII bar chart (values scaled to width)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = max(values, default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    out = [title] if title else []
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+        bar = "#" * (round(width * value / peak) if peak else 0)
+        out.append(f"{label.ljust(label_width)} |{bar} {value:.3f}")
+    return "\n".join(out)
+
+
+def format_stacked_bars(labels: Sequence[str],
+                        stacks: Sequence[Sequence[float]],
+                        segment_chars: str = "#=~",
+                        width: int = 48, title: str = "") -> str:
+    """Render stacked bars (e.g. Figure 11's compute/sync/vmem)."""
+    if len(labels) != len(stacks):
+        raise ValueError("labels and stacks must align")
+    totals = [sum(stack) for stack in stacks]
+    peak = max(totals, default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    out = [title] if title else []
+    for label, stack in zip(labels, stacks):
+        if len(stack) > len(segment_chars):
+            raise ValueError("not enough segment characters")
+        if any(v < 0 for v in stack):
+            raise ValueError("bar values must be non-negative")
+        bar = "".join(
+            char * (round(width * value / peak) if peak else 0)
+            for value, char in zip(stack, segment_chars))
+        out.append(f"{label.ljust(label_width)} |{bar} {sum(stack):.3f}")
+    return "\n".join(out)

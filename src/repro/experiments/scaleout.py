@@ -1,0 +1,76 @@
+"""Section VI: scale-out MC-DLA over an NVSwitch-class plane (Fig. 15).
+
+Sweeps the number of 8-device/8-memory-node system nodes attached to a
+switched device-side plane and reports: switch count, all-reduce latency
+across the whole plane, per-device virtualization bandwidth, and the
+pooled memory capacity -- the feasibility sketch the paper leaves as
+future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.ring_algorithm import Primitive
+from repro.collectives.multi_ring import striped_collective_time
+from repro.experiments.report import format_table
+from repro.interconnect.switch import ScaleOutPlane, datacenter_plane
+from repro.memnode.memory_node import MemoryNodeSpec
+from repro.units import GBPS, MB, TB
+
+NODE_SWEEP = (1, 2, 4, 8, 16)
+SYNC_BYTES = 64 * MB
+
+
+@dataclass(frozen=True)
+class ScaleOutPoint:
+    system_nodes: int
+    plane: ScaleOutPlane
+    allreduce_latency: float
+    vmem_bw_per_device: float
+    pooled_capacity: int
+
+
+@dataclass(frozen=True)
+class ScaleOutResult:
+    points: tuple[ScaleOutPoint, ...]
+
+    def point(self, system_nodes: int) -> ScaleOutPoint:
+        for p in self.points:
+            if p.system_nodes == system_nodes:
+                return p
+        raise KeyError(system_nodes)
+
+
+def run_scaleout(sync_bytes: int = SYNC_BYTES) -> ScaleOutResult:
+    node = MemoryNodeSpec()
+    points = []
+    for count in NODE_SWEEP:
+        plane = datacenter_plane(count)
+        latency = striped_collective_time(
+            Primitive.ALL_REDUCE, plane.ring_channels(), sync_bytes,
+            plane.collective_spec())
+        points.append(ScaleOutPoint(
+            system_nodes=count,
+            plane=plane,
+            allreduce_latency=latency,
+            vmem_bw_per_device=plane.vmem_bandwidth_per_device(),
+            pooled_capacity=plane.pooled_capacity(node.capacity)))
+    return ScaleOutResult(points=tuple(points))
+
+
+def format_scaleout(result: ScaleOutResult) -> str:
+    rows = []
+    for p in result.points:
+        rows.append([
+            p.system_nodes, p.plane.n_devices,
+            p.plane.switches_needed,
+            p.allreduce_latency * 1e3,
+            p.vmem_bw_per_device / GBPS,
+            f"{p.pooled_capacity / TB:.1f} TB",
+        ])
+    return format_table(
+        ["sys-nodes", "devices", "switches", "allreduce (ms)",
+         "vmem GB/s", "memory pool"],
+        rows,
+        title="Section VI: scale-out MC-DLA plane (64 MB all-reduce)")

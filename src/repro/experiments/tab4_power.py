@@ -1,0 +1,61 @@
+"""Table IV + Section V-C: memory-node power and system perf/W.
+
+Reproduces Table IV's DIMM/node TDP and GB/W columns from the DIMM
+catalog, then combines the measured MC-DLA(B) speedup with the 8 GB
+RDIMM (+7% system power) and 128 GB LRDIMM (+31%) build-outs to get the
+paper's 2.6x / 2.1x performance-per-watt numbers, and the 10.4 TB pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig13_performance import Fig13Result, run_fig13
+from repro.experiments.report import format_table, percent
+from repro.memnode.dimm import (DDR4_8GB_RDIMM, DDR4_128GB_LRDIMM,
+                                DIMM_CATALOG)
+from repro.memnode.power import (PowerReport, memory_node_power,
+                                 perf_per_watt_gain)
+
+
+@dataclass(frozen=True)
+class Tab4Result:
+    reports: tuple[PowerReport, ...]
+    measured_speedup: float
+    perf_per_watt_low_power: float    # 8 GB RDIMM build-out
+    perf_per_watt_high_capacity: float  # 128 GB LRDIMM build-out
+    pool_capacity_tb: float
+
+
+def run_tab4(fig13: Fig13Result | None = None) -> Tab4Result:
+    fig13 = fig13 or run_fig13()
+    speedup = fig13.mean_speedup("MC-DLA(B)")
+    reports = tuple(memory_node_power(dimm) for dimm in DIMM_CATALOG)
+    high_cap = memory_node_power(DDR4_128GB_LRDIMM)
+    return Tab4Result(
+        reports=reports,
+        measured_speedup=speedup,
+        perf_per_watt_low_power=perf_per_watt_gain(speedup,
+                                                   DDR4_8GB_RDIMM),
+        perf_per_watt_high_capacity=perf_per_watt_gain(
+            speedup, DDR4_128GB_LRDIMM),
+        pool_capacity_tb=high_cap.added_capacity_tb,
+    )
+
+
+def format_tab4(result: Tab4Result) -> str:
+    rows = [[r.dimm.name, r.dimm.tdp_watts, r.node_tdp_w,
+             r.node_gb_per_watt, percent(r.system_overhead)]
+            for r in result.reports]
+    table = format_table(
+        ["DDR4 module", "DIMM TDP (W)", "node TDP (W)", "GB/W",
+         "system overhead"],
+        rows, title="Table IV: memory-node power consumption (DDR4-2400)")
+    return (f"{table}\n"
+            f"Measured MC-DLA(B) speedup: {result.measured_speedup:.2f}x\n"
+            f"Perf/W vs DC-DLA: {result.perf_per_watt_low_power:.2f}x "
+            f"(8GB RDIMM, paper 2.6x) to "
+            f"{result.perf_per_watt_high_capacity:.2f}x "
+            f"(128GB LRDIMM, paper 2.1x)\n"
+            f"Added memory pool: {result.pool_capacity_tb:.1f} TB "
+            f"(paper: 10.4 TB)")

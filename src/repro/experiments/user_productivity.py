@@ -1,0 +1,95 @@
+"""Section V-E: user productivity -- what MC-DLA makes trainable.
+
+Sweeps the video-understanding workload's sequence length (frames per
+clip) and reports each configuration's training footprint against the
+memory available per device under DC-DLA (16 GB of HBM) and MC-DLA
+(HBM + 1.25 TB of pooled memory-node capacity), plus the iteration time
+on both designs for the configurations that each can train at all
+(DC-DLA *can* virtualize over PCIe -- at its cost; without
+virtualization the workload is simply untrainable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.design_points import dc_dla, mc_dla_bw
+from repro.core.simulator import simulate
+from repro.dnn.models.video import VideoSpec, build_video_net
+from repro.experiments.report import format_table
+from repro.training.parallel import ParallelStrategy
+from repro.units import GB
+
+FRAME_SWEEP = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class ProductivityPoint:
+    frames: int
+    footprint_bytes: int
+    fits_device_memory: bool
+    fits_memory_pool: bool
+    dc_iteration: float
+    mc_iteration: float
+
+    @property
+    def speedup(self) -> float:
+        return self.dc_iteration / self.mc_iteration
+
+
+@dataclass(frozen=True)
+class ProductivityResult:
+    batch: int
+    points: tuple[ProductivityPoint, ...]
+
+    @property
+    def max_frames_in_hbm(self) -> int:
+        fitting = [p.frames for p in self.points
+                   if p.fits_device_memory]
+        return max(fitting) if fitting else 0
+
+    @property
+    def max_frames_in_pool(self) -> int:
+        fitting = [p.frames for p in self.points if p.fits_memory_pool]
+        return max(fitting) if fitting else 0
+
+
+def run_user_productivity(batch: int = 64) -> ProductivityResult:
+    dc = dc_dla()
+    mc = mc_dla_bw()
+    pool = mc.device.memory_capacity + mc.memory_node.capacity
+    points = []
+    for frames in FRAME_SWEEP:
+        net = build_video_net(VideoSpec(frames=frames))
+        footprint = net.training_footprint_bytes(batch)
+        dc_result = simulate(dc, net, batch, ParallelStrategy.DATA)
+        mc_result = simulate(mc, net, batch, ParallelStrategy.DATA)
+        points.append(ProductivityPoint(
+            frames=frames,
+            footprint_bytes=footprint,
+            fits_device_memory=footprint
+            <= dc.device.memory_capacity,
+            fits_memory_pool=footprint <= pool,
+            dc_iteration=dc_result.iteration_time,
+            mc_iteration=mc_result.iteration_time))
+    return ProductivityResult(batch=batch, points=tuple(points))
+
+
+def format_user_productivity(result: ProductivityResult) -> str:
+    rows = []
+    for p in result.points:
+        rows.append([p.frames, f"{p.footprint_bytes / GB:.1f} GB",
+                     "yes" if p.fits_device_memory else "NO",
+                     "yes" if p.fits_memory_pool else "NO",
+                     p.dc_iteration, p.mc_iteration,
+                     f"{p.speedup:.2f}x"])
+    table = format_table(
+        ["frames", "footprint", "fits 16GB HBM", "fits MC pool",
+         "DC-DLA (s)", "MC-DLA(B) (s)", "speedup"],
+        rows,
+        title=f"Section V-E: end-to-end video training "
+              f"(batch {result.batch})")
+    return (f"{table}\n"
+            f"Longest clip trainable without virtualization: "
+            f"{result.max_frames_in_hbm or 'none'} frames; within the "
+            f"MC-DLA pool: {result.max_frames_in_pool} frames")

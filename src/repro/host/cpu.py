@@ -1,0 +1,74 @@
+"""Host CPU socket models (paper Sections II, IV; Figure 12).
+
+CPUs are latency-oriented: a high-end Xeon offers ~80 GB/s of memory
+bandwidth per socket, a Power9 ~120 GB/s.  The hypothetical HC-DLA host
+is over-provisioned to 300 GB/s/socket so that four devices can each
+read/write CPU DRAM over three 25 GB/s links -- the paper grants this
+conservatively and then shows the design is still inferior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GBPS
+
+
+@dataclass(frozen=True)
+class CpuSocketSpec:
+    """One host CPU socket."""
+
+    name: str
+    mem_bandwidth: float          # bytes/sec per socket
+    devices_per_socket: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mem_bandwidth <= 0:
+            raise ValueError("socket bandwidth must be positive")
+        if self.devices_per_socket <= 0:
+            raise ValueError("need at least one device per socket")
+
+
+XEON = CpuSocketSpec("Intel-Xeon", 80 * GBPS)
+POWER9 = CpuSocketSpec("IBM-Power9", 120 * GBPS)
+#: HC-DLA's hypothetical socket: 3-4x over-provisioned (Section IV).
+HYPOTHETICAL_HC = CpuSocketSpec("Hypothetical-HC", 300 * GBPS)
+
+
+@dataclass(frozen=True)
+class CpuBandwidthUsage:
+    """CPU memory bandwidth consumed by device virtualization traffic.
+
+    ``avg`` is sustained usage over an iteration; ``max`` is the peak
+    concurrent DMA demand; both are per socket (Figure 12's y-axis).
+    """
+
+    socket: CpuSocketSpec
+    avg_bytes_per_sec: float
+    max_bytes_per_sec: float
+
+    @property
+    def avg_fraction(self) -> float:
+        return self.avg_bytes_per_sec / self.socket.mem_bandwidth
+
+    @property
+    def max_fraction(self) -> float:
+        return self.max_bytes_per_sec / self.socket.mem_bandwidth
+
+
+def socket_usage(socket: CpuSocketSpec, traffic_bytes_per_device: float,
+                 iteration_time: float,
+                 per_device_concurrent_bw: float) -> CpuBandwidthUsage:
+    """Account one socket's bandwidth usage (Figure 12).
+
+    ``traffic_bytes_per_device``: virtualization bytes one device moves
+    through host DRAM per training iteration.
+    """
+    if iteration_time <= 0:
+        raise ValueError("iteration time must be positive")
+    if traffic_bytes_per_device < 0 or per_device_concurrent_bw < 0:
+        raise ValueError("negative bandwidth inputs")
+    devices = socket.devices_per_socket
+    avg = devices * traffic_bytes_per_device / iteration_time
+    peak = devices * per_device_concurrent_bw
+    return CpuBandwidthUsage(socket, avg, peak)

@@ -1,0 +1,57 @@
+"""Physical link models for the device-side interconnect and PCIe.
+
+The paper's running configuration (Table II) gives every node N=6
+high-bandwidth links, each providing B=25 GB/s of uni-directional
+bandwidth (50 GB/s bi-directional), NVLINK-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GBPS, US
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One point-to-point signaling link.
+
+    ``uni_bw`` is the bandwidth available in one direction; a
+    bi-directional transfer can use ``2 * uni_bw`` in aggregate.
+    """
+
+    name: str
+    uni_bw: float          # bytes/sec per direction
+    latency: float         # per-hop propagation + protocol latency (sec)
+
+    def __post_init__(self) -> None:
+        if self.uni_bw <= 0:
+            raise ValueError(f"link {self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError(f"link {self.name}: negative latency")
+
+    @property
+    def bidir_bw(self) -> float:
+        return 2.0 * self.uni_bw
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Latency of a one-way bulk transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return self.latency + nbytes / self.uni_bw
+
+
+#: NVLINK-class link of the paper's baseline (Table II): B = 25 GB/s per
+#: direction, with a ~0.7 us per-hop latency typical of device-side
+#: signaling.
+NVLINK = LinkSpec("nvlink", uni_bw=25 * GBPS, latency=0.7 * US)
+
+#: PCIe gen3 x16: ~16 GB/s per direction.
+PCIE_GEN3 = LinkSpec("pcie-gen3-x16", uni_bw=16 * GBPS, latency=1.5 * US)
+
+#: PCIe gen4 x16 doubles gen3's link bandwidth (Section V-B sensitivity).
+PCIE_GEN4 = LinkSpec("pcie-gen4-x16", uni_bw=32 * GBPS, latency=1.5 * US)
+
+#: DGX-2-class link (Section V-B): NVLINK2 via NVSwitch, 2.4 TB/s of
+#: device-side bandwidth over 6 links -> 50 GB/s per direction per link.
+NVLINK2 = LinkSpec("nvlink2", uni_bw=50 * GBPS, latency=0.7 * US)

@@ -1,0 +1,118 @@
+"""Ring network abstraction.
+
+Collective libraries (NCCL, PowerAI DDL) cast the physical interconnect
+into ring networks and run ring-algorithm collectives over them
+(Section II-C).  A :class:`Ring` is an ordered cycle of nodes; device
+nodes *participate* in collectives while memory nodes merely forward,
+but every node on the cycle adds a hop (and a chunk-forwarding stage),
+which is why the paper's Figure 9 plots latency against the *total*
+number of nodes inside the ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interconnect.link import LinkSpec
+from repro.interconnect.topology import NodeId, NodeKind, Topology
+
+
+@dataclass(frozen=True)
+class Ring:
+    """An ordered cycle of nodes sharing one link spec.
+
+    ``order`` lists the nodes once; the cycle closes from the last node
+    back to the first.
+    """
+
+    name: str
+    order: tuple[NodeId, ...]
+    link: LinkSpec
+    #: Additional forwarding hops from nodes the cycle revisits (the
+    #: Figure 7(a) derivative traverses every memory-node twice; see the
+    #: paper's footnote 1).  ``order`` stays duplicate-free; revisits
+    #: only lengthen the cycle.
+    extra_hops: int = 0
+    #: Duplex rings use both directions of their bi-directional links
+    #: (two counter-rotating logical rings); a ring built from a single
+    #: leftover link per node runs one direction only.
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.order) < 2:
+            raise ValueError(f"ring {self.name} needs at least 2 nodes")
+        if len(set(self.order)) != len(self.order):
+            raise ValueError(f"ring {self.name} visits a node twice")
+        if self.extra_hops < 0:
+            raise ValueError(f"ring {self.name}: negative extra hops")
+
+    @property
+    def size(self) -> int:
+        """Total nodes on the cycle (devices + forwarding memory nodes)."""
+        return len(self.order)
+
+    @property
+    def devices(self) -> tuple[NodeId, ...]:
+        return tuple(n for n in self.order if n.kind is NodeKind.DEVICE)
+
+    @property
+    def participant_count(self) -> int:
+        return len(self.devices)
+
+    @property
+    def hop_count(self) -> int:
+        """Hops to traverse the full cycle -- the paper's 'hop count'."""
+        return len(self.order) + self.extra_hops
+
+    @property
+    def algorithm_bandwidth(self) -> float:
+        """Rate the ring algorithm sustains around this cycle."""
+        return self.link.bidir_bw if self.duplex else self.link.uni_bw
+
+    def edges(self) -> list[tuple[NodeId, NodeId]]:
+        """The cycle's (a, b) node pairs, closing the loop."""
+        pairs = list(zip(self.order, self.order[1:]))
+        pairs.append((self.order[-1], self.order[0]))
+        return pairs
+
+    def neighbors(self, node: NodeId) -> tuple[NodeId, NodeId]:
+        """(left, right) neighbors of ``node`` on the cycle."""
+        idx = self.order.index(node)
+        left = self.order[idx - 1]
+        right = self.order[(idx + 1) % len(self.order)]
+        return left, right
+
+
+@dataclass
+class RingSet:
+    """The rings a system runs collectives over, with validation."""
+
+    rings: list[Ring] = field(default_factory=list)
+
+    def add(self, ring: Ring) -> None:
+        self.rings.append(ring)
+
+    @property
+    def total_link_bw(self) -> float:
+        """Aggregate bi-directional collective bandwidth per device."""
+        return sum(r.link.bidir_bw for r in self.rings)
+
+    @property
+    def max_ring_size(self) -> int:
+        return max(r.size for r in self.rings)
+
+    def validate_same_participants(self) -> None:
+        """All rings must serve the same device set (SPMD collectives)."""
+        if not self.rings:
+            raise ValueError("empty ring set")
+        reference = set(self.rings[0].devices)
+        for ring in self.rings[1:]:
+            if set(ring.devices) != reference:
+                raise ValueError(
+                    f"ring {ring.name} serves different devices")
+
+    def materialize(self, topo: Topology, tag_prefix: str = "") -> None:
+        """Add every ring edge to ``topo`` as a physical link."""
+        for ring in self.rings:
+            for a, b in ring.edges():
+                topo.add_link(a, b, ring.link, tag=f"{tag_prefix}{ring.name}")

@@ -1,0 +1,128 @@
+"""Scale-out device-side interconnect plane (paper Section VI, Fig. 15).
+
+NVSwitch-class, NVLINK-compatible switches let system vendors scale the
+device-side interconnect beyond one chassis: every device-/memory-node
+connects N links into a switching plane that can be cast into *any*
+logical topology -- in particular the ring-based MC-DLA interconnect,
+now spanning hundreds of nodes across system-node boundaries.
+
+This module models that plane: a radix-constrained switch fabric, the
+logical MC-DLA rings laid over it, and the resulting collective and
+virtualization channel parameters for node counts far beyond 8+8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.collectives.multi_ring import RingChannel
+from repro.interconnect.link import NVLINK, LinkSpec
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """One NVSwitch-class crossbar."""
+
+    name: str = "nvswitch"
+    radix: int = 18                 # NVSwitch: 18 NVLINK ports
+    port_bw: float = NVLINK.uni_bw
+    hop_latency: float = 0.3 * US   # added per switch traversal
+
+    def __post_init__(self) -> None:
+        if self.radix < 2:
+            raise ValueError("switch radix must be >= 2")
+        if self.port_bw <= 0:
+            raise ValueError("port bandwidth must be positive")
+        if self.hop_latency < 0:
+            raise ValueError("negative hop latency")
+
+
+@dataclass(frozen=True)
+class ScaleOutPlane:
+    """A switched device-side plane hosting devices and memory-nodes.
+
+    ``links_per_node`` of each node's N high-bandwidth links enter the
+    plane (Figure 15 draws N=3); the rest stay chassis-local.  The plane
+    is non-blocking as long as enough switches supply ports.
+    """
+
+    n_devices: int
+    n_memory_nodes: int
+    switch: SwitchSpec = SwitchSpec()
+    links_per_node: int = 3
+    link: LinkSpec = NVLINK
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 2:
+            raise ValueError("a plane needs at least 2 devices")
+        if self.n_memory_nodes < 0:
+            raise ValueError("negative memory-node count")
+        if self.links_per_node < 1:
+            raise ValueError("need at least one link into the plane")
+
+    @property
+    def total_nodes(self) -> int:
+        return self.n_devices + self.n_memory_nodes
+
+    @property
+    def total_plane_ports(self) -> int:
+        return self.total_nodes * self.links_per_node
+
+    @property
+    def switches_needed(self) -> int:
+        """Single-stage count; each endpoint link occupies one port."""
+        return math.ceil(self.total_plane_ports / self.switch.radix)
+
+    def ring_channels(self) -> list[RingChannel]:
+        """The MC-DLA rings cast over the plane.
+
+        Each of the ``links_per_node`` links supports one duplex logical
+        ring visiting all nodes.  Switch traversal latency is exposed via
+        :meth:`collective_spec` so callers price it per hop.
+        """
+        return [RingChannel(self.total_nodes, self.link.bidir_bw)
+                for _ in range(self.links_per_node)]
+
+    def collective_spec(self):
+        """A :class:`CollectiveSpec` whose hop latency includes one
+        switch traversal per ring step."""
+        from repro.collectives.ring_algorithm import (DEFAULT_SPEC,
+                                                      CollectiveSpec)
+        return CollectiveSpec(
+            chunk_bytes=DEFAULT_SPEC.chunk_bytes,
+            hop_latency=self.link.latency + self.switch.hop_latency,
+            chunk_overhead=DEFAULT_SPEC.chunk_overhead)
+
+    def vmem_bandwidth_per_device(self) -> float:
+        """Backing-store bandwidth per device through the plane.
+
+        With the switch in the path, a device is no longer limited to
+        its two physical neighbours: all plane links can read memory-
+        nodes concurrently, capped by the memory-node-side ports.
+        """
+        if self.n_memory_nodes == 0:
+            return 0.0
+        device_side = self.links_per_node * self.link.uni_bw
+        node_side = (self.n_memory_nodes * self.links_per_node
+                     * self.link.uni_bw) / self.n_devices
+        return min(device_side, node_side)
+
+    def pooled_capacity(self, node_capacity: int) -> int:
+        """Total memory pool exposed to the plane's devices."""
+        if node_capacity <= 0:
+            raise ValueError("node capacity must be positive")
+        return self.n_memory_nodes * node_capacity
+
+
+def datacenter_plane(system_nodes: int, devices_per_node: int = 8,
+                     memory_per_node: int = 8,
+                     links_per_node: int = 3) -> ScaleOutPlane:
+    """Figure 15's datacenter-level plane: S chassis, 8+8 nodes each."""
+    if system_nodes < 1:
+        raise ValueError("need at least one system node")
+    return ScaleOutPlane(
+        n_devices=system_nodes * devices_per_node,
+        n_memory_nodes=system_nodes * memory_per_node,
+        links_per_node=links_per_node)

@@ -1,0 +1,62 @@
+"""Commodity DDR4 DIMM catalog (paper Table IV).
+
+The memory-node is populated with capacity/density-optimized commodity
+DIMMs: 8-16 GB registered DIMMs (RDIMM) up to 32-128 GB load-reduced
+DIMMs (LRDIMM).  TDP figures follow the Samsung datasheets and Micron's
+DDR4 system power calculator the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GB, GBPS
+
+
+@dataclass(frozen=True)
+class DimmSpec:
+    """One DDR4 memory module."""
+
+    name: str
+    kind: str                # "RDIMM" or "LRDIMM"
+    capacity: int            # bytes
+    tdp_watts: float
+    #: Per-DIMM peak bandwidth; PC4-17000 = 17 GB/s ... PC4-25600 =
+    #: 25.6 GB/s per channel.
+    bandwidth: float = 25.6 * GBPS
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("RDIMM", "LRDIMM"):
+            raise ValueError(f"{self.name}: unknown DIMM kind {self.kind}")
+        if self.capacity <= 0 or self.tdp_watts <= 0 or self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: sizes must be positive")
+
+    @property
+    def capacity_gb(self) -> float:
+        return self.capacity / GB
+
+    @property
+    def gb_per_watt(self) -> float:
+        """Capacity efficiency, the paper's GB/W figure of merit."""
+        return self.capacity_gb / self.tdp_watts
+
+
+#: Table IV rows (Samsung DDR4-2400 modules).
+DDR4_8GB_RDIMM = DimmSpec("8GB-RDIMM", "RDIMM", 8 * GB, 2.9)
+DDR4_16GB_RDIMM = DimmSpec("16GB-RDIMM", "RDIMM", 16 * GB, 6.6)
+DDR4_32GB_LRDIMM = DimmSpec("32GB-LRDIMM", "LRDIMM", 32 * GB, 8.7)
+DDR4_64GB_LRDIMM = DimmSpec("64GB-LRDIMM", "LRDIMM", 64 * GB, 10.2)
+DDR4_128GB_LRDIMM = DimmSpec("128GB-LRDIMM", "LRDIMM", 128 * GB, 12.7)
+
+DIMM_CATALOG: tuple[DimmSpec, ...] = (
+    DDR4_8GB_RDIMM, DDR4_16GB_RDIMM, DDR4_32GB_LRDIMM,
+    DDR4_64GB_LRDIMM, DDR4_128GB_LRDIMM,
+)
+
+
+def dimm_by_name(name: str) -> DimmSpec:
+    for spec in DIMM_CATALOG:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown DIMM {name!r}; "
+                   f"known: {', '.join(d.name for d in DIMM_CATALOG)}")

@@ -1,0 +1,46 @@
+"""DMA engine model of the memory-node (Figure 6).
+
+The DMA unit forwards a device-node's bulk transfer requests to the
+memory controller.  Transfers are coarse-grained and deterministic, so
+a fixed setup cost plus a bandwidth term models them faithfully
+(Section IV's methodology discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class DmaEngine:
+    """Bulk-transfer engine with setup overhead and a bandwidth cap."""
+
+    name: str = "dma"
+    setup_latency: float = 2.0 * US
+    #: 0 means "no engine-side cap" (the path's link/DIMM bandwidth
+    #: governs); otherwise the engine cannot exceed this rate.
+    max_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.setup_latency < 0:
+            raise ValueError("negative DMA setup latency")
+        if self.max_bandwidth < 0:
+            raise ValueError("negative DMA bandwidth cap")
+
+    def effective_bandwidth(self, path_bandwidth: float) -> float:
+        if path_bandwidth <= 0:
+            raise ValueError("path bandwidth must be positive")
+        if self.max_bandwidth:
+            return min(path_bandwidth, self.max_bandwidth)
+        return path_bandwidth
+
+    def transfer_time(self, nbytes: float, path_bandwidth: float) -> float:
+        """One bulk transfer over a path with the given bandwidth."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if nbytes == 0:
+            return 0.0
+        return (self.setup_latency
+                + nbytes / self.effective_bandwidth(path_bandwidth))

@@ -1,0 +1,86 @@
+"""Optional memory-node ASICs: compression and encryption units.
+
+Figure 6 notes that "an ASIC that handles encryption or compression can
+optionally be added to the memory-node".  These models let the design
+space include such units: a compression engine shrinks migrated traffic
+(activation sparsity compression, cDMA-style [56], averages 2.6x on
+CNNs), an encryption engine adds a throughput ceiling and fixed latency
+for at-rest protection of pooled tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GBPS, US
+
+
+@dataclass(frozen=True)
+class CompressionUnit:
+    """Inline (de)compression on the memory-node's data path."""
+
+    name: str = "cdma-compressor"
+    #: Achieved compression ratio on migrated traffic (>= 1).
+    ratio: float = 2.6
+    #: Engine throughput ceiling on *uncompressed* data.
+    throughput: float = 200 * GBPS
+
+    def __post_init__(self) -> None:
+        if self.ratio < 1.0:
+            raise ValueError("compression ratio must be >= 1")
+        if self.throughput <= 0:
+            raise ValueError("throughput must be positive")
+
+    def wire_bytes(self, nbytes: float) -> float:
+        """Bytes that actually cross the links."""
+        if nbytes < 0:
+            raise ValueError("negative size")
+        return nbytes / self.ratio
+
+    def transfer_time(self, nbytes: float, link_bw: float) -> float:
+        """Compressed transfer: wire time, floored by engine rate."""
+        if link_bw <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if nbytes < 0:
+            raise ValueError("negative size")
+        if nbytes == 0:
+            return 0.0
+        return max(self.wire_bytes(nbytes) / link_bw,
+                   nbytes / self.throughput)
+
+    def effective_bandwidth(self, link_bw: float) -> float:
+        """Apparent bandwidth uplift seen by the DMA engine."""
+        if link_bw <= 0:
+            raise ValueError("link bandwidth must be positive")
+        return min(link_bw * self.ratio, self.throughput)
+
+
+@dataclass(frozen=True)
+class EncryptionUnit:
+    """Inline AES-class encryption for pooled-memory confidentiality."""
+
+    name: str = "aes-engine"
+    throughput: float = 100 * GBPS
+    latency: float = 0.5 * US
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0:
+            raise ValueError("throughput must be positive")
+        if self.latency < 0:
+            raise ValueError("negative latency")
+
+    def transfer_time(self, nbytes: float, link_bw: float) -> float:
+        """Encrypted transfer: the slower of wire and cipher rates,
+        plus the pipeline-fill latency."""
+        if link_bw <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if nbytes < 0:
+            raise ValueError("negative size")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / min(link_bw, self.throughput)
+
+    def effective_bandwidth(self, link_bw: float) -> float:
+        if link_bw <= 0:
+            raise ValueError("link bandwidth must be positive")
+        return min(link_bw, self.throughput)

@@ -1,0 +1,105 @@
+"""The memory-node architecture (paper Figure 6, Section III-A).
+
+A memory-node is a pooled-memory board sized like a PCIe accelerator:
+N high-bandwidth links into the device-side interconnect, a protocol
+engine, a DMA unit, a memory controller, and ten commodity DDR4 DIMMs.
+The N links are partitioned into M groups; each group of N/M links is
+exclusively owned by one device-node, and under MC-DLA's driver model
+each node is split in half between its left and right neighbour device
+(M = 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interconnect.link import NVLINK, LinkSpec
+from repro.memnode.dimm import DDR4_128GB_LRDIMM, DimmSpec
+from repro.memnode.dma import DmaEngine
+from repro.units import GBPS
+
+
+@dataclass(frozen=True)
+class MemoryNodeSpec:
+    """One memory-node board (Table II, lower half)."""
+
+    name: str = "memory-node"
+    dimm: DimmSpec = DDR4_128GB_LRDIMM
+    n_dimms: int = 10
+    #: Aggregate DIMM bandwidth exposed by the memory controller;
+    #: Table II configures 256 GB/s (PC4-25600 x 10).
+    memory_bandwidth: float = 256 * GBPS
+    access_latency_cycles: int = 100
+    n_links: int = 6
+    link: LinkSpec = NVLINK
+    #: Number of exclusive device groups the links are partitioned into.
+    link_groups: int = 2
+    dma: DmaEngine = field(default_factory=DmaEngine)
+
+    def __post_init__(self) -> None:
+        if self.n_dimms <= 0:
+            raise ValueError("memory-node needs at least one DIMM")
+        if self.memory_bandwidth <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if self.n_links <= 0 or self.link_groups <= 0:
+            raise ValueError("links and groups must be positive")
+        if self.link_groups > self.n_links:
+            raise ValueError("cannot have more groups (M) than links (N)")
+
+    # -- Capacity and partitioning ------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """80 GB (8 GB RDIMMs) up to 1.3 TB (128 GB LRDIMMs)."""
+        return self.dimm.capacity * self.n_dimms
+
+    @property
+    def links_per_group(self) -> int:
+        """N/M links owned by each client device."""
+        return self.n_links // self.link_groups
+
+    @property
+    def group_link_bw(self) -> float:
+        """(N/M) x B GB/s a device's group of links can carry."""
+        return self.links_per_group * self.link.uni_bw
+
+    @property
+    def group_capacity(self) -> int:
+        """Bytes of the node's memory owned by one client device."""
+        return self.capacity // self.link_groups
+
+    @property
+    def group_memory_bw(self) -> float:
+        """DIMM bandwidth share available to one group."""
+        return self.memory_bandwidth / self.link_groups
+
+    def device_read_bandwidth(self) -> float:
+        """Sustained bandwidth one client device sees from its group.
+
+        The protocol engine saturates the group's links unless the DIMM
+        share is the tighter bound.
+        """
+        return self.dma.effective_bandwidth(
+            min(self.group_link_bw, self.group_memory_bw))
+
+    def transfer_time(self, nbytes: float) -> float:
+        """One bulk group transfer (DMA setup + bandwidth)."""
+        return self.dma.transfer_time(nbytes, min(self.group_link_bw,
+                                                  self.group_memory_bw))
+
+    # -- Power ---------------------------------------------------------------
+
+    @property
+    def tdp_watts(self) -> float:
+        """Node TDP: the DIMMs dominate (Table IV's accounting)."""
+        return self.dimm.tdp_watts * self.n_dimms
+
+    @property
+    def gb_per_watt(self) -> float:
+        return (self.capacity / (1024 ** 3)) / self.tdp_watts
+
+
+def node_with_dimm(dimm: DimmSpec, n_dimms: int = 10) -> MemoryNodeSpec:
+    """A Table II memory-node populated with the given DIMM type."""
+    return MemoryNodeSpec(name=f"memnode-{dimm.name}", dimm=dimm,
+                          n_dimms=n_dimms)

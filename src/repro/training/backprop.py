@@ -1,0 +1,64 @@
+"""Training-step structure: forward/backward expansion of the DAG.
+
+A training iteration (Section II-A) runs forward propagation through
+the layers in topological order, then backpropagation in reverse,
+deriving dX and dW per layer.  :class:`TrainingStep` materializes that
+order along with the recompute sites the migration policy introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import Network
+from repro.dnn.layers import LayerKind
+from repro.vmem.policy import MigrationAction, TensorPlan
+
+
+@dataclass(frozen=True)
+class TrainingStep:
+    """Deterministic op orders of one iteration over a network."""
+
+    network: str
+    fwd_order: tuple[str, ...]
+    bwd_order: tuple[str, ...]
+    #: backward layer -> cheap layers recomputed just before it.
+    recompute_sites: dict[str, tuple[str, ...]]
+    #: backward layer -> offloaded tensors prefetched for it.
+    prefetch_sites: dict[str, tuple[str, ...]]
+
+    @property
+    def depth(self) -> int:
+        return len(self.fwd_order)
+
+
+def expand(net: Network, plans: list[TensorPlan]) -> TrainingStep:
+    """Expand a network + migration plan into a training step.
+
+    Forward order is the DAG's topological order; backward order is its
+    reverse, skipping the input pseudo-layer.  Each offloaded tensor is
+    prefetched before the backward pass of its topologically-last
+    forward consumer (its *first* backward use); each recomputed tensor
+    is regenerated at the same point.
+    """
+    fwd = tuple(net.layer_names)
+    bwd = tuple(name for name in reversed(fwd)
+                if net.layer(name).kind is not LayerKind.INPUT)
+
+    prefetch: dict[str, list[str]] = {}
+    recompute: dict[str, list[str]] = {}
+    for plan in plans:
+        if plan.action is MigrationAction.OFFLOAD:
+            prefetch.setdefault(plan.prefetch_before, []).append(
+                plan.producer)
+        elif plan.action is MigrationAction.RECOMPUTE:
+            recompute.setdefault(plan.prefetch_before, []).append(
+                plan.producer)
+
+    return TrainingStep(
+        network=net.name,
+        fwd_order=fwd,
+        bwd_order=bwd,
+        recompute_sites={k: tuple(v) for k, v in recompute.items()},
+        prefetch_sites={k: tuple(v) for k, v in prefetch.items()},
+    )

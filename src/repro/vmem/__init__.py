@@ -1,0 +1,21 @@
+"""DNN memory virtualization substrate (Table I, Figure 10)."""
+
+from repro.vmem.allocator import (OutOfRemoteMemoryError, PlacementPolicy,
+                                  RemoteAllocator, transfer_latency)
+from repro.vmem.driver import (PAGE_BYTES, AddressSpaceLayout, PageMapping,
+                               Tier, default_layout)
+from repro.vmem.manager import MemoryManager, MigrationPlan
+from repro.vmem.policy import (MigrationAction, MigrationPolicy, TensorPlan,
+                               offload_traffic_bytes,
+                               round_trip_traffic_bytes)
+from repro.vmem.runtime_api import (CopyDirection, CopyEvent, DeviceRuntime,
+                                    RemotePtr)
+
+__all__ = [
+    "AddressSpaceLayout", "CopyDirection", "CopyEvent", "DeviceRuntime",
+    "MemoryManager", "MigrationAction", "MigrationPlan", "MigrationPolicy",
+    "OutOfRemoteMemoryError", "PAGE_BYTES", "PageMapping",
+    "PlacementPolicy", "RemoteAllocator", "RemotePtr", "TensorPlan", "Tier",
+    "default_layout", "offload_traffic_bytes", "round_trip_traffic_bytes",
+    "transfer_latency",
+]

@@ -1,0 +1,109 @@
+"""Behavioral tests across design-point variations.
+
+Each test states one causal claim from the paper ("X helps because Y")
+and verifies the simulator reproduces it -- these are the checks that
+distinguish a system model from a curve fit.
+"""
+
+import pytest
+
+from repro.accelerator.generations import PASCAL, TPUV2
+from repro.core.design_points import dc_dla, dc_dla_oracle, mc_dla_bw
+from repro.core.simulator import simulate
+from repro.interconnect.link import NVLINK2, PCIE_GEN4
+from repro.training.parallel import ParallelStrategy
+
+
+class TestHostChannelEffects:
+    def test_pcie_gen4_speeds_up_dc_dla(self):
+        gen3 = simulate(dc_dla(), "VGG-E", 512)
+        gen4 = simulate(dc_dla(pcie=PCIE_GEN4), "VGG-E", 512)
+        assert gen4.iteration_time < gen3.iteration_time
+        # ... but cannot beat the oracle.
+        oracle = simulate(dc_dla_oracle(), "VGG-E", 512)
+        assert gen4.iteration_time > oracle.iteration_time
+
+    def test_pcie_gen4_does_not_affect_oracle_compute(self):
+        gen3 = simulate(dc_dla(), "VGG-E", 512)
+        gen4 = simulate(dc_dla(pcie=PCIE_GEN4), "VGG-E", 512)
+        assert gen4.breakdown.compute \
+            == pytest.approx(gen3.breakdown.compute)
+
+    def test_compression_reduces_migration_latency_only(self):
+        plain = simulate(dc_dla(), "VGG-E", 512)
+        cdma = simulate(dc_dla(compression=2.6), "VGG-E", 512)
+        assert cdma.breakdown.vmem < plain.breakdown.vmem / 2
+        assert cdma.breakdown.sync == pytest.approx(plain.breakdown.sync)
+        # Offload *bytes* are accounted uncompressed (same tensors).
+        assert cdma.offload_bytes_per_device \
+            == plain.offload_bytes_per_device
+
+    def test_shared_uplinks_hurt_only_virtualized_runs(self):
+        shared = simulate(dc_dla(shared_uplinks=True), "VGG-E", 512)
+        dedicated = simulate(dc_dla(), "VGG-E", 512)
+        assert shared.iteration_time > dedicated.iteration_time
+        assert shared.breakdown.compute \
+            == pytest.approx(dedicated.breakdown.compute)
+
+
+class TestDeviceSpeedEffects:
+    def test_faster_devices_widen_the_gap(self):
+        """Section V-B: on TPUv2-class devices, DC-DLA becomes fully
+        migration-bound, so MC-DLA's advantage grows."""
+        def gap(device):
+            dc = simulate(dc_dla(device=device), "VGG-E", 512)
+            mc = simulate(mc_dla_bw(device=device), "VGG-E", 512)
+            return mc.speedup_over(dc)
+        assert gap(TPUV2) > gap(PASCAL)
+
+    def test_faster_device_shrinks_compute_not_vmem(self):
+        slow = simulate(dc_dla(device=PASCAL), "VGG-E", 512)
+        fast = simulate(dc_dla(device=TPUV2), "VGG-E", 512)
+        assert fast.breakdown.compute < slow.breakdown.compute
+        assert fast.breakdown.vmem == pytest.approx(slow.breakdown.vmem,
+                                                    rel=1e-6)
+
+
+class TestInterconnectEffects:
+    def test_nvlink2_speeds_up_both_sync_and_vmem_on_mc(self):
+        base = simulate(mc_dla_bw(), "RNN-LSTM-2", 512)
+        fat = simulate(mc_dla_bw(link=NVLINK2), "RNN-LSTM-2", 512)
+        assert fat.breakdown.sync < base.breakdown.sync
+        assert fat.breakdown.vmem < base.breakdown.vmem
+
+    def test_more_devices_slow_collectives_only(self):
+        """Weak scaling: 16-device rings are longer, so dW all-reduce
+        costs more, but per-device compute and migration stay put."""
+        small = simulate(dc_dla(n_devices=8), "RNN-LSTM-2", 512)
+        large = simulate(dc_dla(n_devices=16), "RNN-LSTM-2", 512)
+        assert large.breakdown.sync > small.breakdown.sync
+        assert large.breakdown.compute \
+            == pytest.approx(small.breakdown.compute)
+        assert large.breakdown.vmem \
+            == pytest.approx(small.breakdown.vmem, rel=1e-6)
+
+
+class TestWorkloadCharacter:
+    def test_cnns_are_fmap_dominated_rnns_weight_dominated(self):
+        """Section V-A's taxonomy drives which designs win where."""
+        vgg = simulate(dc_dla(), "VGG-E", 512)
+        lstm = simulate(dc_dla(), "RNN-LSTM-2", 512)
+        # VGG's migrated fmaps dwarf its synchronized weights ...
+        assert vgg.offload_bytes_per_device > 10 * vgg.sync_bytes
+        # ... while the big LSTM synchronizes more than it migrates
+        # per timestep-chunk (weights > activations per step).
+        assert lstm.sync_bytes > lstm.offload_bytes_per_device / 25
+
+    def test_model_parallel_migrates_more_per_device(self):
+        dp = simulate(mc_dla_bw(), "VGG-E", 512, ParallelStrategy.DATA)
+        mp = simulate(mc_dla_bw(), "VGG-E", 512, ParallelStrategy.MODEL)
+        # Gathered full-size feature maps vs per-worker shards.
+        assert mp.offload_bytes_per_device \
+            == pytest.approx(dp.offload_bytes_per_device, rel=1e-6)
+        assert mp.sync_bytes > dp.sync_bytes
+
+    def test_oracle_iteration_is_pure_compute_plus_sync(self):
+        result = simulate(dc_dla_oracle(), "ResNet", 512)
+        assert result.breakdown.vmem == 0.0
+        assert result.iteration_time \
+            <= result.breakdown.compute + result.breakdown.sync + 1e-9

@@ -1,0 +1,136 @@
+"""Tests for the ring-algorithm latency models (paper Figure 9)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives.multi_ring import (RingChannel, stripe_bytes,
+                                          striped_collective_time)
+from repro.collectives.ring_algorithm import (CollectiveSpec, Primitive,
+                                              all_gather_time,
+                                              all_reduce_time,
+                                              broadcast_time,
+                                              collective_time)
+from repro.units import GBPS, KB, MB
+
+BW = 50 * GBPS
+#: Idealized spec (no fixed latencies) for algebraic identities.
+IDEAL = CollectiveSpec(hop_latency=0.0, chunk_overhead=0.0)
+
+
+class TestAnalyticForms:
+    def test_all_reduce_is_twice_all_gather(self):
+        for n in (2, 4, 8, 16):
+            ar = all_reduce_time(n, 8 * MB, BW, IDEAL)
+            ag = all_gather_time(n, 8 * MB, BW, IDEAL)
+            assert ar == pytest.approx(2 * ag)
+
+    def test_all_reduce_ideal_closed_form(self):
+        # 2 (n-1)/n * S / B.
+        n, size = 8, 8 * MB
+        expected = 2 * (n - 1) / n * size / BW
+        assert all_reduce_time(n, size, BW, IDEAL) == pytest.approx(expected)
+
+    def test_broadcast_pipelines(self):
+        # Pipelined broadcast costs ~S/B regardless of ring length.
+        t8 = broadcast_time(8, 8 * MB, BW, IDEAL)
+        t32 = broadcast_time(32, 8 * MB, BW, IDEAL)
+        assert t32 < 1.05 * t8
+
+    def test_mc_dla_16_vs_8_overhead_near_7_percent(self):
+        t8 = all_reduce_time(8, 8 * MB, BW, IDEAL)
+        t16 = all_reduce_time(16, 8 * MB, BW, IDEAL)
+        assert t16 / t8 == pytest.approx((30 / 16) / (14 / 8))
+        assert t16 / t8 - 1 == pytest.approx(0.0714, abs=1e-3)
+
+    def test_small_messages_penalize_long_rings(self):
+        # With per-hop latency, a 16-node ring hurts at 4 KB ...
+        spec = CollectiveSpec()
+        small_ratio = all_reduce_time(16, 4 * KB, BW, spec) \
+            / all_reduce_time(8, 4 * KB, BW, spec)
+        big_ratio = all_reduce_time(16, 8 * MB, BW, spec) \
+            / all_reduce_time(8, 8 * MB, BW, spec)
+        # ... much more than at the 8 MB synchronization size.
+        assert small_ratio > 1.5
+        assert big_ratio < 1.15
+
+    def test_zero_bytes_is_free(self):
+        for primitive in Primitive:
+            assert collective_time(primitive, 8, 0, BW) == 0.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            all_gather_time(1, MB, BW)
+        with pytest.raises(ValueError):
+            all_reduce_time(4, -1, BW)
+        with pytest.raises(ValueError):
+            broadcast_time(4, MB, 0)
+        with pytest.raises(ValueError):
+            CollectiveSpec(chunk_bytes=0)
+
+
+class TestMonotonicity:
+    @given(st.integers(min_value=2, max_value=64),
+           st.integers(min_value=1, max_value=256))
+    def test_time_monotone_in_message_size(self, n, size_mb):
+        for primitive in Primitive:
+            smaller = collective_time(primitive, n, size_mb * MB, BW)
+            larger = collective_time(primitive, n, 2 * size_mb * MB, BW)
+            assert larger > smaller
+
+    @given(st.integers(min_value=2, max_value=32),
+           st.integers(min_value=1, max_value=64))
+    def test_time_monotone_in_ring_size_ideal(self, n, size_mb):
+        for primitive in Primitive:
+            t_n = collective_time(primitive, n, size_mb * MB, BW, IDEAL)
+            t_2n = collective_time(primitive, 2 * n, size_mb * MB, BW,
+                                   IDEAL)
+            assert t_2n >= t_n * 0.999
+
+    @given(st.integers(min_value=2, max_value=64),
+           st.integers(min_value=1, max_value=64))
+    def test_doubling_bandwidth_halves_ideal_time(self, n, size_mb):
+        t1 = all_reduce_time(n, size_mb * MB, BW, IDEAL)
+        t2 = all_reduce_time(n, size_mb * MB, 2 * BW, IDEAL)
+        assert t1 == pytest.approx(2 * t2)
+
+
+class TestMultiRing:
+    def test_stripe_proportional_to_bandwidth(self):
+        channels = [RingChannel(8, BW), RingChannel(8, BW / 2)]
+        shares = stripe_bytes(channels, 9 * MB)
+        assert shares[0] == pytest.approx(6 * MB)
+        assert shares[1] == pytest.approx(3 * MB)
+
+    def test_balanced_striping_matches_single_fat_ring(self):
+        # Three equal rings carrying S/3 each == one ring at 3x rate.
+        channels = [RingChannel(8, BW)] * 3
+        striped = striped_collective_time(Primitive.ALL_REDUCE, channels,
+                                          9 * MB, IDEAL)
+        fat = all_reduce_time(8, 9 * MB, 3 * BW, IDEAL)
+        assert striped == pytest.approx(fat)
+
+    def test_slowest_ring_bottlenecks(self):
+        balanced = [RingChannel(8, BW)] * 3
+        unbalanced = [RingChannel(8, BW), RingChannel(12, BW),
+                      RingChannel(20, BW)]
+        t_bal = striped_collective_time(Primitive.ALL_REDUCE, balanced,
+                                        24 * MB)
+        t_unb = striped_collective_time(Primitive.ALL_REDUCE, unbalanced,
+                                        24 * MB)
+        assert t_unb > t_bal
+
+    def test_zero_bytes_free(self):
+        assert striped_collective_time(Primitive.BROADCAST,
+                                       [RingChannel(8, BW)], 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stripe_bytes([], MB)
+        with pytest.raises(ValueError):
+            RingChannel(1, BW)
+        with pytest.raises(ValueError):
+            RingChannel(8, 0.0)
+        with pytest.raises(ValueError):
+            striped_collective_time(Primitive.BROADCAST,
+                                    [RingChannel(8, BW)], -5)

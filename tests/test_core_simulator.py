@@ -1,0 +1,117 @@
+"""Tests for the top-level simulator and its metrics."""
+
+import pytest
+
+from repro.core.design_points import (dc_dla, dc_dla_oracle, design_point,
+                                      hc_dla, mc_dla_bw)
+from repro.core.metrics import LatencyBreakdown
+from repro.core.simulator import host_bandwidth_usage, simulate
+from repro.dnn.registry import build_network
+from repro.training.parallel import ParallelStrategy
+from repro.units import GBPS
+
+
+class TestSimulate:
+    def test_accepts_names_and_networks(self):
+        config = dc_dla()
+        by_name = simulate(config, "AlexNet", 64)
+        by_net = simulate(config, build_network("AlexNet"), 64)
+        assert by_name.iteration_time \
+            == pytest.approx(by_net.iteration_time)
+
+    def test_result_fields(self):
+        result = simulate(mc_dla_bw(), "AlexNet", 64)
+        assert result.system == "MC-DLA(B)"
+        assert result.network == "AlexNet"
+        assert result.n_devices == 8
+        assert result.strategy is ParallelStrategy.DATA
+        assert result.throughput \
+            == pytest.approx(64 / result.iteration_time)
+
+    def test_breakdown_components_nonnegative(self):
+        result = simulate(dc_dla(), "GoogLeNet", 64)
+        b = result.breakdown
+        assert b.compute > 0 and b.sync > 0 and b.vmem > 0
+        assert b.total == pytest.approx(b.compute + b.sync + b.vmem)
+
+    def test_overlap_bounds(self):
+        # Iteration time is at most the sum of components (overlap can
+        # only help) and at least the largest single component.
+        for name in ("DC-DLA", "MC-DLA(B)", "HC-DLA"):
+            result = simulate(design_point(name), "VGG-E", 512)
+            b = result.breakdown
+            assert result.iteration_time <= b.total + 1e-9
+            assert result.iteration_time \
+                >= max(b.compute, b.sync, b.vmem) - 1e-9
+
+    def test_oracle_is_fastest_and_clean(self):
+        oracle = simulate(dc_dla_oracle(), "VGG-E", 512)
+        assert oracle.breakdown.vmem == 0.0
+        assert oracle.offload_bytes_per_device == 0
+        for name in ("DC-DLA", "HC-DLA", "MC-DLA(S)", "MC-DLA(L)",
+                     "MC-DLA(B)"):
+            other = simulate(design_point(name), "VGG-E", 512)
+            assert other.iteration_time >= oracle.iteration_time
+
+    def test_host_traffic_only_for_host_designs(self):
+        dc = simulate(dc_dla(), "AlexNet", 64)
+        mc = simulate(mc_dla_bw(), "AlexNet", 64)
+        assert dc.host_traffic_bytes_per_device \
+            == dc.round_trip_bytes_per_device > 0
+        assert mc.host_traffic_bytes_per_device == 0
+        assert mc.round_trip_bytes_per_device > 0
+
+    def test_fits_in_memory_flag(self):
+        big = simulate(dc_dla(), "VGG-E", 512)
+        small = simulate(dc_dla(), "AlexNet", 16)
+        assert not big.fits_in_device_memory
+        assert small.fits_in_device_memory
+
+    def test_speedup_requires_matching_workloads(self):
+        a = simulate(dc_dla(), "AlexNet", 64)
+        v = simulate(dc_dla(), "VGG-E", 64)
+        with pytest.raises(ValueError):
+            a.speedup_over(v)
+        with pytest.raises(ValueError):
+            a.performance_vs(v)
+
+    def test_batch_scaling_monotone(self):
+        times = [simulate(mc_dla_bw(), "AlexNet", b).iteration_time
+                 for b in (64, 128, 256, 512)]
+        assert times == sorted(times)
+
+
+class TestHostBandwidth:
+    def test_dc_dla_usage(self):
+        config = dc_dla()
+        result = simulate(config, "VGG-E", 512)
+        usage = host_bandwidth_usage(config, result)
+        assert usage.avg_bytes_per_sec > 0
+        assert usage.max_bytes_per_sec == 4 * 16 * GBPS
+
+    def test_hc_dla_can_near_saturate(self):
+        config = hc_dla()
+        result = simulate(config, "VGG-E", 512,
+                          ParallelStrategy.MODEL)
+        usage = host_bandwidth_usage(config, result)
+        assert usage.max_fraction == pytest.approx(1.0)
+        assert usage.avg_fraction > 0.3
+
+    def test_requires_host_socket(self):
+        config = mc_dla_bw()
+        result = simulate(config, "AlexNet", 64)
+        with pytest.raises(ValueError):
+            host_bandwidth_usage(config, result)
+
+
+class TestLatencyBreakdown:
+    def test_normalization(self):
+        b = LatencyBreakdown(1.0, 2.0, 3.0)
+        n = b.normalized_to(6.0)
+        assert n.total == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            LatencyBreakdown(1.0, 1.0, 1.0).normalized_to(0.0)

@@ -1,0 +1,106 @@
+"""Tests for the engine-level timeline scheduler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.timeline import EngineKind, Op, OpList, run_timeline
+
+
+def oplist(specs):
+    """specs: list of (engine, duration, deps)."""
+    ops = OpList()
+    for engine, duration, deps in specs:
+        ops.add(engine, duration, deps, tag=f"op{len(ops)}")
+    return ops
+
+
+class TestOpValidation:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Op(0, EngineKind.COMPUTE, -1.0, (), "x")
+
+    def test_rejects_forward_dependency(self):
+        with pytest.raises(ValueError):
+            Op(0, EngineKind.COMPUTE, 1.0, (1,), "x")
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            Op(0, EngineKind.DMA_IN, 1.0, (), "x", nbytes=-1)
+
+
+class TestScheduling:
+    def test_engine_serializes(self):
+        ops = oplist([(EngineKind.COMPUTE, 1.0, []),
+                      (EngineKind.COMPUTE, 2.0, [])])
+        result = run_timeline(ops)
+        assert result.scheduled[1].start == pytest.approx(1.0)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_different_engines_overlap(self):
+        ops = oplist([(EngineKind.COMPUTE, 2.0, []),
+                      (EngineKind.DMA_OUT, 2.0, [])])
+        result = run_timeline(ops)
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_dependencies_respected(self):
+        ops = oplist([(EngineKind.COMPUTE, 1.0, []),
+                      (EngineKind.DMA_OUT, 0.5, [0]),
+                      (EngineKind.COMPUTE, 1.0, [1])])
+        result = run_timeline(ops)
+        assert result.scheduled[1].start == pytest.approx(1.0)
+        assert result.scheduled[2].start == pytest.approx(1.5)
+
+    def test_busy_totals(self):
+        ops = oplist([(EngineKind.COMPUTE, 1.0, []),
+                      (EngineKind.COMPUTE, 2.5, []),
+                      (EngineKind.COMM, 4.0, [])])
+        result = run_timeline(ops)
+        assert result.busy_time(EngineKind.COMPUTE) == pytest.approx(3.5)
+        assert result.busy_time(EngineKind.COMM) == pytest.approx(4.0)
+        assert result.busy_time(EngineKind.DMA_IN) == 0.0
+
+    def test_empty_oplist(self):
+        result = run_timeline(OpList())
+        assert result.makespan == 0.0
+
+    def test_zero_duration_ops(self):
+        ops = oplist([(EngineKind.COMPUTE, 0.0, []),
+                      (EngineKind.COMPUTE, 0.0, [0])])
+        assert run_timeline(ops).makespan == 0.0
+
+    def test_ops_on_engine_filter(self):
+        ops = oplist([(EngineKind.COMPUTE, 1.0, []),
+                      (EngineKind.COMM, 1.0, [])])
+        result = run_timeline(ops)
+        assert len(result.ops_on(EngineKind.COMPUTE)) == 1
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(
+        st.sampled_from(list(EngineKind)),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.booleans()), min_size=1, max_size=40))
+    def test_schedule_is_consistent(self, raw):
+        ops = OpList()
+        for engine, duration, dep_on_prev in raw:
+            deps = [len(ops.ops) - 1] if dep_on_prev and ops.ops else []
+            ops.add(engine, duration, deps, tag="t")
+        result = run_timeline(ops)
+
+        finish = [s.finish for s in result.scheduled]
+        last_on_engine: dict[EngineKind, float] = {}
+        for s in result.scheduled:
+            # Dependencies finish before the op starts.
+            for d in s.op.deps:
+                assert finish[d] <= s.start + 1e-12
+            # Engines never run two ops at once.
+            if s.op.engine in last_on_engine:
+                assert last_on_engine[s.op.engine] <= s.start + 1e-12
+            last_on_engine[s.op.engine] = s.finish
+            assert s.finish == pytest.approx(s.start + s.op.duration)
+
+        # Makespan bounds: at least the busiest engine, at most the sum.
+        total = sum(s.op.duration for s in result.scheduled)
+        busiest = max(result.busy.values())
+        assert busiest - 1e-9 <= result.makespan <= total + 1e-9

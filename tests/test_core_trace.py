@@ -1,0 +1,116 @@
+"""Tests for the timeline trace exporter and bar renderers."""
+
+import json
+
+import pytest
+
+from repro.core.design_points import dc_dla
+from repro.core.schedule import build_iteration_ops, plan_iteration
+from repro.core.timeline import EngineKind, OpList, run_timeline
+from repro.core.trace import (engine_utilization, to_chrome_trace,
+                              to_records)
+from repro.dnn.registry import build_network
+from repro.experiments.report import format_bars, format_stacked_bars
+from repro.training.parallel import ParallelStrategy
+
+
+@pytest.fixture(scope="module")
+def alexnet_timeline():
+    config = dc_dla()
+    plan = plan_iteration(build_network("AlexNet"), config, 64,
+                          ParallelStrategy.DATA)
+    return run_timeline(build_iteration_ops(plan, config))
+
+
+class TestRecords:
+    def test_records_sorted_and_complete(self, alexnet_timeline):
+        records = to_records(alexnet_timeline)
+        assert len(records) == len(alexnet_timeline.scheduled)
+        starts = [r["start"] for r in records]
+        assert starts == sorted(starts)
+        first = records[0]
+        assert set(first) == {"uid", "tag", "engine", "start", "finish",
+                              "duration", "nbytes"}
+
+    def test_durations_consistent(self, alexnet_timeline):
+        for r in to_records(alexnet_timeline):
+            assert r["finish"] == pytest.approx(r["start"]
+                                                + r["duration"])
+
+
+class TestChromeTrace:
+    def test_valid_json_with_all_engines(self, alexnet_timeline):
+        doc = json.loads(to_chrome_trace(alexnet_timeline))
+        events = doc["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(metadata) == 4  # one row per engine
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices, "no duration events exported"
+        for event in slices:
+            assert event["dur"] > 0
+            assert event["cat"] in ("compute", "migration",
+                                    "collective", "other")
+
+    def test_categories_assigned_by_tag(self, alexnet_timeline):
+        doc = json.loads(to_chrome_trace(alexnet_timeline))
+        by_cat = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                by_cat.setdefault(e["cat"], []).append(e["name"])
+        assert any(n.startswith("fwd:") for n in by_cat["compute"])
+        assert any(n.startswith("offload:")
+                   for n in by_cat["migration"])
+        assert any(n.startswith("sync-bwd:")
+                   for n in by_cat["collective"])
+
+    def test_timestamps_in_microseconds(self, alexnet_timeline):
+        doc = json.loads(to_chrome_trace(alexnet_timeline))
+        longest = max((e for e in doc["traceEvents"] if e["ph"] == "X"),
+                      key=lambda e: e["ts"] + e["dur"])
+        assert longest["ts"] + longest["dur"] == pytest.approx(
+            alexnet_timeline.makespan * 1e6, rel=1e-6)
+
+
+class TestUtilization:
+    def test_fractions_bounded(self, alexnet_timeline):
+        util = engine_utilization(alexnet_timeline)
+        assert set(util) == {e.value for e in EngineKind}
+        for fraction in util.values():
+            assert 0.0 <= fraction <= 1.0 + 1e-9
+
+    def test_dc_dla_is_dma_bound(self, alexnet_timeline):
+        util = engine_utilization(alexnet_timeline)
+        assert util["dma-out"] > util["comm"]
+
+    def test_empty_timeline(self):
+        util = engine_utilization(run_timeline(OpList()))
+        assert all(v == 0.0 for v in util.values())
+
+
+class TestBarRenderers:
+    def test_format_bars(self):
+        out = format_bars(["a", "bb"], [1.0, 0.5], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_format_bars_validation(self):
+        with pytest.raises(ValueError):
+            format_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            format_bars(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            format_bars(["a"], [1.0], width=0)
+
+    def test_format_stacked_bars(self):
+        out = format_stacked_bars(["x"], [[0.5, 0.25, 0.25]], width=8)
+        line = out.splitlines()[-1]
+        assert line.count("#") == 4
+        assert line.count("=") == 2
+        assert line.count("~") == 2
+
+    def test_format_stacked_bars_validation(self):
+        with pytest.raises(ValueError):
+            format_stacked_bars(["x"], [[1.0] * 5])
+        with pytest.raises(ValueError):
+            format_stacked_bars(["x", "y"], [[1.0]])

@@ -1,0 +1,109 @@
+"""Tests for repro.dnn.builder (the CNN graph builder)."""
+
+import pytest
+
+from repro.dnn.builder import NetBuilder, conv_out_dim
+from repro.dnn.layers import LayerKind
+
+
+class TestConvOutDim:
+    def test_textbook_cases(self):
+        assert conv_out_dim(224, 7, 2, 3) == 112   # ResNet stem
+        assert conv_out_dim(227, 11, 4, 0) == 55   # AlexNet conv1
+        assert conv_out_dim(56, 3, 1, 1) == 56     # same-padding 3x3
+        assert conv_out_dim(112, 3, 2, 1) == 56    # strided pool
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            conv_out_dim(2, 5, 1, 0)
+
+
+class TestNetBuilder:
+    def test_conv_shapes_and_weights(self):
+        b = NetBuilder("t")
+        x = b.image_input(32, 32, 3)
+        y = b.conv(x, out_channels=16, kernel=3, pad=1)
+        assert (y.height, y.width, y.channels) == (32, 32, 16)
+        layer = b.net.layer(y.name)
+        assert layer.weight_elems == 16 * 3 * 9
+        assert layer.out_elems == 32 * 32 * 16
+
+    def test_grouped_conv_divides_weights(self):
+        b = NetBuilder("t")
+        x = b.image_input(8, 8, 4)
+        dense = b.conv(x, 8, kernel=3, pad=1, name="dense")
+        grouped = b.conv(x, 8, kernel=3, pad=1, groups=2, name="grouped")
+        assert b.net.layer(grouped.name).weight_elems \
+            == b.net.layer(dense.name).weight_elems // 2
+        # Grouped convs halve the MACs too (two smaller GEMMs).
+        assert b.net.layer(grouped.name).fwd_macs(1) \
+            == b.net.layer(dense.name).fwd_macs(1) // 2
+
+    def test_grouped_conv_rejects_indivisible(self):
+        b = NetBuilder("t")
+        x = b.image_input(8, 8, 3)
+        with pytest.raises(ValueError):
+            b.conv(x, 8, kernel=3, groups=2)
+
+    def test_pool_reduces_spatial(self):
+        b = NetBuilder("t")
+        x = b.image_input(8, 8, 4)
+        y = b.pool(x, kernel=2, stride=2)
+        assert (y.height, y.width, y.channels) == (4, 4, 4)
+        assert b.net.layer(y.name).kind is LayerKind.POOL
+
+    def test_global_pool(self):
+        b = NetBuilder("t")
+        x = b.image_input(7, 7, 64)
+        y = b.pool(x, kernel=7, stride=1, global_pool=True)
+        assert (y.height, y.width, y.channels) == (1, 1, 64)
+
+    def test_concat_sums_channels(self):
+        b = NetBuilder("t")
+        x = b.image_input(8, 8, 4)
+        a = b.conv(x, 8, kernel=1)
+        c = b.conv(x, 16, kernel=1)
+        y = b.concat([a, c])
+        assert y.channels == 24
+
+    def test_concat_rejects_mismatched_spatial(self):
+        b = NetBuilder("t")
+        x = b.image_input(8, 8, 4)
+        a = b.conv(x, 8, kernel=1)
+        c = b.pool(x, kernel=2, stride=2)
+        with pytest.raises(ValueError):
+            b.concat([a, c])
+
+    def test_add_requires_identical_shape(self):
+        b = NetBuilder("t")
+        x = b.image_input(8, 8, 4)
+        a = b.conv(x, 4, kernel=3, pad=1)
+        c = b.conv(x, 8, kernel=3, pad=1)
+        with pytest.raises(ValueError):
+            b.add(a, c)
+
+    def test_fc_flattens_input(self):
+        b = NetBuilder("t")
+        x = b.image_input(6, 6, 256)
+        y = b.fc(x, 4096)
+        assert b.net.layer(y.name).weight_elems == 6 * 6 * 256 * 4096
+
+    def test_batchnorm_has_per_channel_weights(self):
+        b = NetBuilder("t")
+        x = b.image_input(8, 8, 32)
+        y = b.batchnorm(x)
+        assert b.net.layer(y.name).weight_elems == 64
+
+    def test_unique_name_generation(self):
+        b = NetBuilder("t")
+        x = b.image_input(8, 8, 4)
+        first = b.relu(x)
+        second = b.relu(x)
+        assert first.name != second.name
+
+    def test_build_validates(self):
+        b = NetBuilder("t")
+        x = b.image_input(8, 8, 4)
+        b.conv(x, 8, kernel=3, pad=1)
+        net = b.build()
+        assert len(net) == 2

@@ -1,0 +1,89 @@
+"""Tests for repro.dnn.layers."""
+
+import pytest
+
+from repro.dnn.layers import (CHEAP_KINDS, RECURRENT_KINDS, WEIGHTED_KINDS,
+                              Layer, LayerKind)
+from repro.dnn.shapes import Gemm
+from repro.units import FP32_BYTES
+
+
+def conv_layer(out_elems=100, weight_elems=64):
+    return Layer(name="conv", kind=LayerKind.CONV, out_elems=out_elems,
+                 weight_elems=weight_elems,
+                 gemms=(Gemm(10, 10, 8, m_per_sample=True),))
+
+
+class TestLayerValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Layer(name="", kind=LayerKind.ACT, out_elems=1)
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            Layer(name="x", kind=LayerKind.ACT, out_elems=-1)
+
+    def test_rejects_weights_on_unweighted_kind(self):
+        with pytest.raises(ValueError):
+            Layer(name="pool", kind=LayerKind.POOL, out_elems=4,
+                  weight_elems=2)
+
+    def test_weighted_kinds_accept_weights(self):
+        for kind in WEIGHTED_KINDS:
+            Layer(name="w", kind=kind, out_elems=4, weight_elems=2)
+
+
+class TestLayerTaxonomy:
+    def test_cheap_kinds_are_recomputable(self):
+        assert LayerKind.ACT in CHEAP_KINDS
+        assert LayerKind.POOL in CHEAP_KINDS
+        assert LayerKind.CONV not in CHEAP_KINDS
+        assert LayerKind.LSTM_CELL not in CHEAP_KINDS
+
+    def test_recurrent_kinds(self):
+        assert RECURRENT_KINDS == {LayerKind.RNN_CELL,
+                                   LayerKind.LSTM_CELL,
+                                   LayerKind.GRU_CELL}
+
+    def test_is_cheap_flag(self):
+        relu = Layer(name="r", kind=LayerKind.ACT, out_elems=4,
+                     stream_elems=8)
+        assert relu.is_cheap
+        assert not conv_layer().is_cheap
+
+
+class TestLayerSizing:
+    def test_out_bytes_scales_with_batch(self):
+        layer = conv_layer(out_elems=100)
+        assert layer.out_bytes(1) == 100 * FP32_BYTES
+        assert layer.out_bytes(32) == 32 * 100 * FP32_BYTES
+
+    def test_weight_bytes(self):
+        assert conv_layer(weight_elems=64).weight_bytes == 256
+
+    def test_fwd_macs(self):
+        layer = conv_layer()
+        assert layer.fwd_macs(4) == 4 * 10 * 10 * 8
+
+    def test_bwd_macs_double_forward(self):
+        layer = conv_layer()
+        assert layer.bwd_macs(4) == 2 * layer.fwd_macs(4)
+
+    def test_bwd_gemms_shapes(self):
+        layer = conv_layer()
+        fwd = layer.fwd_gemms(2)[0]
+        dx, dw = layer.bwd_gemms(2)
+        assert (dx.m, dx.n, dx.k) == (fwd.m, fwd.k, fwd.n)
+        assert (dw.m, dw.n, dw.k) == (fwd.k, fwd.n, fwd.m)
+        assert dx.macs == dw.macs == fwd.macs
+
+    def test_stream_bytes(self):
+        relu = Layer(name="r", kind=LayerKind.ACT, out_elems=4,
+                     stream_elems=8)
+        assert relu.fwd_stream_bytes(16) == 8 * 16 * FP32_BYTES
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            conv_layer().out_bytes(0)
+        with pytest.raises(ValueError):
+            conv_layer().fwd_macs(-1)

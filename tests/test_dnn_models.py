@@ -1,0 +1,170 @@
+"""Tests for the eight Table III benchmark networks.
+
+Layer counts, parameter counts, and arithmetic are checked against the
+published figures of each network's defining paper.
+"""
+
+import pytest
+
+from repro.dnn.graph import Network
+from repro.dnn.layers import LayerKind
+from repro.dnn.models.rnn import RNN_SPECS, build_rnn
+from repro.dnn.registry import (BENCHMARK_NAMES, CNN_NAMES, RNN_NAMES,
+                                all_benchmarks, benchmark_info,
+                                build_network)
+
+
+class TestRegistry:
+    def test_eight_benchmarks_in_paper_order(self):
+        assert BENCHMARK_NAMES == ("AlexNet", "GoogLeNet", "VGG-E",
+                                   "ResNet", "RNN-GEMV", "RNN-LSTM-1",
+                                   "RNN-LSTM-2", "RNN-GRU")
+        assert len(CNN_NAMES) == 4 and len(RNN_NAMES) == 4
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_info("LeNet")
+        with pytest.raises(KeyError):
+            build_network("LeNet")
+
+    def test_builders_cached(self):
+        assert build_network("AlexNet") is build_network("AlexNet")
+
+    def test_applications_match_table_iii(self):
+        assert benchmark_info("RNN-GEMV").application \
+            == "Speech recognition"
+        assert benchmark_info("RNN-LSTM-1").application \
+            == "Machine translation"
+        assert benchmark_info("RNN-LSTM-2").application \
+            == "Language modeling"
+
+    def test_all_benchmarks_validate(self):
+        for info in all_benchmarks():
+            net = build_network(info.name)
+            assert isinstance(net, Network)
+            net.validate()
+
+
+class TestLearnedLayerCounts:
+    """Table III's '# of layers' column."""
+
+    @pytest.mark.parametrize("name,count", [
+        ("AlexNet", 8), ("GoogLeNet", 58), ("VGG-E", 19), ("ResNet", 34),
+    ])
+    def test_cnn_layer_counts(self, name, count):
+        assert build_network(name).learned_layer_count == count
+
+    @pytest.mark.parametrize("name,timesteps", [
+        ("RNN-GEMV", 50), ("RNN-LSTM-1", 25), ("RNN-LSTM-2", 25),
+        ("RNN-GRU", 187),
+    ])
+    def test_rnn_timesteps(self, name, timesteps):
+        net = build_network(name)
+        cells = [l for l in net.layers if l.is_recurrent]
+        assert len(cells) == timesteps
+
+
+class TestParameterCounts:
+    def test_alexnet_params_near_61m(self):
+        params = build_network("AlexNet").weight_bytes() / 4
+        assert 56e6 < params < 62e6  # 61M with biases; we omit biases
+
+    def test_vgg19_params_near_143m(self):
+        params = build_network("VGG-E").weight_bytes() / 4
+        assert 138e6 < params < 145e6
+
+    def test_googlenet_params_near_7m(self):
+        params = build_network("GoogLeNet").weight_bytes() / 4
+        assert 5.5e6 < params < 8e6
+
+    def test_resnet34_params_near_21m(self):
+        params = build_network("ResNet").weight_bytes() / 4
+        assert 20e6 < params < 23e6
+
+    def test_fc_dominates_alexnet_weights(self):
+        net = build_network("AlexNet")
+        fc = sum(l.weight_elems for l in net.layers
+                 if l.kind is LayerKind.FC)
+        assert fc > 0.9 * net.weight_bytes() / 4
+
+
+class TestArithmetic:
+    def test_vgg19_fwd_macs_near_19_6g(self):
+        macs = build_network("VGG-E").fwd_macs(1)
+        assert 19e9 < macs < 20.5e9
+
+    def test_resnet34_fwd_macs_near_3_6g(self):
+        macs = build_network("ResNet").fwd_macs(1)
+        assert 3.4e9 < macs < 3.9e9
+
+    def test_alexnet_fwd_macs_near_0_7g(self):
+        macs = build_network("AlexNet").fwd_macs(1)
+        assert 0.6e9 < macs < 0.8e9
+
+    def test_googlenet_fwd_macs_near_1_5g(self):
+        macs = build_network("GoogLeNet").fwd_macs(1)
+        assert 1.3e9 < macs < 1.8e9
+
+
+class TestCnnStructure:
+    def test_feature_maps_dominate_cnn_memory(self):
+        # Section V-A: CNN feature maps, not weights, dominate training
+        # memory at realistic batch sizes.
+        for name in CNN_NAMES:
+            net = build_network(name)
+            assert net.feature_map_bytes(512) > 4 * net.weight_bytes()
+
+    def test_vgg_footprint_exceeds_device_memory(self):
+        # The memory capacity wall: VGG-E at batch 512 cannot fit in a
+        # 16 GB device (Section II-B's motivation).
+        footprint = build_network("VGG-E").training_footprint_bytes(512)
+        assert footprint > 16 * (1024 ** 3)
+
+    def test_resnet_has_residual_adds(self):
+        net = build_network("ResNet")
+        adds = [l for l in net.layers if l.kind is LayerKind.ELTWISE]
+        assert len(adds) == 16  # one per basic block
+
+    def test_googlenet_has_nine_inception_concats(self):
+        net = build_network("GoogLeNet")
+        concats = [l for l in net.layers if l.kind is LayerKind.CONCAT]
+        assert len(concats) == 9
+
+
+class TestRnnStructure:
+    def test_weights_dominate_rnn_memory_per_sample(self):
+        # Section V-A: recurrent layers are weight-heavy.
+        for name in ("RNN-LSTM-2",):
+            net = build_network(name)
+            assert net.weight_bytes() > net.feature_map_bytes(1)
+
+    def test_cells_share_one_weight_group(self):
+        net = build_network("RNN-GRU")
+        groups = {l.weight_group for l in net.layers if l.is_recurrent}
+        assert len(groups) == 1
+
+    def test_per_timestep_inputs(self):
+        spec = RNN_SPECS["RNN-GEMV"]
+        net = build_rnn(spec)
+        inputs = [l for l in net.layers if l.kind is LayerKind.INPUT]
+        assert len(inputs) == spec.timesteps
+
+    def test_lstm_state_includes_gates_and_cell(self):
+        spec = RNN_SPECS["RNN-LSTM-1"]
+        assert spec.state_elems == 6 * spec.hidden
+        assert spec.gates == 4
+
+    def test_gru_gate_multiplier(self):
+        spec = RNN_SPECS["RNN-GRU"]
+        assert spec.gates == 3
+        assert spec.state_elems == 4 * spec.hidden
+
+    def test_lstm2_weights_exceed_1gb(self):
+        # The big language-model LSTM synchronizes >1 GB of dW.
+        assert build_network("RNN-LSTM-2").weight_bytes() > 1e9
+
+    def test_cell_dag_is_a_chain(self):
+        net = build_network("RNN-LSTM-1")
+        cells = [l.name for l in net.layers if l.is_recurrent]
+        for earlier, later in zip(cells, cells[1:]):
+            assert earlier in net.predecessors(later)

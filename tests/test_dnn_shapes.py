@@ -1,0 +1,65 @@
+"""Tests for repro.dnn.shapes (GEMM lowering)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnn.shapes import Gemm, conv_gemm, fc_gemm, rnn_gemm
+
+dims = st.integers(min_value=1, max_value=4096)
+
+
+class TestGemm:
+    def test_macs(self):
+        assert Gemm(2, 3, 4).macs == 24
+
+    def test_operand_elems(self):
+        # X: 2x4, W: 4x3, Y: 2x3
+        assert Gemm(2, 3, 4).operand_elems == 8 + 12 + 6
+
+    def test_rejects_nonpositive_dims(self):
+        for m, n, k in [(0, 1, 1), (1, 0, 1), (1, 1, 0), (-1, 2, 2)]:
+            with pytest.raises(ValueError):
+                Gemm(m, n, k)
+
+    def test_at_batch_scales_per_sample_m(self):
+        g = Gemm(196, 64, 27, m_per_sample=True)
+        resolved = g.at_batch(8)
+        assert resolved.m == 196 * 8
+        assert (resolved.n, resolved.k) == (64, 27)
+        assert not resolved.m_per_sample
+
+    def test_at_batch_keeps_fixed_m(self):
+        g = Gemm(7, 5, 3, m_per_sample=False)
+        assert g.at_batch(16).m == 7
+
+    def test_at_batch_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            Gemm(1, 1, 1).at_batch(0)
+
+    @given(dims, dims, dims, st.integers(min_value=1, max_value=64))
+    def test_batch_scaling_is_linear_in_macs(self, m, n, k, batch):
+        g = Gemm(m, n, k, m_per_sample=True)
+        assert g.at_batch(batch).macs == batch * Gemm(m, n, k).macs
+
+
+class TestLoweringHelpers:
+    def test_conv_gemm_dims(self):
+        # 3x3 conv, 64 in, 128 out, on a 56x56 output grid.
+        g = conv_gemm(56 * 56, 128, 64, 9)
+        assert (g.m, g.n, g.k) == (3136, 128, 576)
+        assert g.m_per_sample
+
+    def test_fc_gemm_one_row_per_sample(self):
+        g = fc_gemm(4096, 25088)
+        assert (g.m, g.n, g.k) == (1, 4096, 25088)
+        assert g.m_per_sample
+
+    def test_rnn_gemm_gate_features(self):
+        g = rnn_gemm(4 * 1024, 1024)
+        assert (g.m, g.n, g.k) == (1, 4096, 1024)
+
+    def test_conv_macs_match_textbook_formula(self):
+        # MACs = OH*OW*OC * IC*KH*KW per sample.
+        g = conv_gemm(28 * 28, 192, 64, 25).at_batch(2)
+        assert g.macs == 2 * 28 * 28 * 192 * 64 * 25

@@ -1,0 +1,97 @@
+"""Tests for the extension experiments: ablations, productivity,
+scale-out, and the scalability/sensitivity harness logic."""
+
+import pytest
+
+from repro.experiments.ablations import (ABLATION_NETWORKS,
+                                         format_ablations, run_ablations)
+from repro.experiments.scalability import (DEVICE_COUNTS,
+                                           format_scalability,
+                                           run_scalability)
+from repro.experiments.scaleout import format_scaleout, run_scaleout
+from repro.experiments.user_productivity import (
+    FRAME_SWEEP, format_user_productivity, run_user_productivity)
+
+
+@pytest.fixture(scope="module")
+def ablations():
+    return run_ablations()
+
+
+@pytest.fixture(scope="module")
+def scaleout():
+    return run_scaleout()
+
+
+class TestAblations:
+    def test_all_studies_present(self, ablations):
+        studies = {r.study for r in ablations.rows}
+        assert studies == {"offload-window", "recompute-rule",
+                           "pcie-uplinks", "interconnect"}
+
+    def test_row_lookup(self, ablations):
+        row = ablations.row("offload-window", "w=2")
+        assert row.mean_iteration_time > 0
+        with pytest.raises(KeyError):
+            ablations.row("offload-window", "w=3")
+
+    def test_window_saturates(self, ablations):
+        w4 = ablations.row("offload-window", "w=4").mean_iteration_time
+        w8 = ablations.row("offload-window", "w=8").mean_iteration_time
+        assert w8 == pytest.approx(w4, rel=0.02)
+
+    def test_formatting(self, ablations):
+        out = format_ablations(ablations)
+        assert "fig7c-ring" in out
+        for network in ABLATION_NETWORKS:
+            assert network in out
+
+
+class TestScaleOut:
+    def test_sweep_points(self, scaleout):
+        assert [p.system_nodes for p in scaleout.points] \
+            == [1, 2, 4, 8, 16]
+        with pytest.raises(KeyError):
+            scaleout.point(3)
+
+    def test_latency_grows_sublinearly(self, scaleout):
+        l1 = scaleout.point(1).allreduce_latency
+        l16 = scaleout.point(16).allreduce_latency
+        assert l1 < l16 < 2 * l1
+
+    def test_pool_scales_linearly(self, scaleout):
+        assert scaleout.point(8).pooled_capacity \
+            == 8 * scaleout.point(1).pooled_capacity
+
+    def test_formatting(self, scaleout):
+        assert "switches" in format_scaleout(scaleout)
+
+
+class TestUserProductivity:
+    def test_points_cover_sweep(self):
+        result = run_user_productivity(batch=64)
+        assert tuple(p.frames for p in result.points) == FRAME_SWEEP
+        out = format_user_productivity(result)
+        assert "fits 16GB HBM" in out
+
+    def test_capacity_wall_location(self):
+        result = run_user_productivity(batch=64)
+        assert result.max_frames_in_hbm <= 8
+        assert result.max_frames_in_pool == max(FRAME_SWEEP)
+
+
+class TestScalabilityHarness:
+    def test_device_counts_and_lookup(self):
+        result = run_scalability()
+        assert DEVICE_COUNTS == (1, 4, 8)
+        point = result.point("MC-DLA(B)", "AlexNet", 8)
+        assert point.node_throughput > 0
+        with pytest.raises(KeyError):
+            result.point("MC-DLA(B)", "AlexNet", 2)
+
+    def test_scaling_relations(self):
+        result = run_scalability()
+        for config in ("DC-DLA (no virtualization)", "MC-DLA(B)"):
+            assert result.mean_scaling(config, 8) \
+                > result.mean_scaling(config, 4)
+        assert "scalability" in format_scalability(result).lower()

@@ -1,0 +1,47 @@
+"""Tests for the host CPU substrate (paper Figure 12's accounting)."""
+
+import pytest
+
+from repro.host.cpu import (HYPOTHETICAL_HC, POWER9, XEON, CpuSocketSpec,
+                            socket_usage)
+from repro.units import GBPS
+
+
+class TestSockets:
+    def test_published_socket_bandwidths(self):
+        assert XEON.mem_bandwidth == 80 * GBPS
+        assert POWER9.mem_bandwidth == 120 * GBPS
+        assert HYPOTHETICAL_HC.mem_bandwidth == 300 * GBPS
+
+    def test_four_devices_per_socket(self):
+        assert XEON.devices_per_socket == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuSocketSpec("bad", 0.0)
+        with pytest.raises(ValueError):
+            CpuSocketSpec("bad", GBPS, devices_per_socket=0)
+
+
+class TestSocketUsage:
+    def test_average_usage(self):
+        # 4 devices x 10 GB over a 1 s iteration = 40 GB/s sustained.
+        usage = socket_usage(XEON, 10 * GBPS, 1.0, 8 * GBPS)
+        assert usage.avg_bytes_per_sec == pytest.approx(40 * GBPS)
+        assert usage.avg_fraction == pytest.approx(0.5)
+
+    def test_peak_usage(self):
+        usage = socket_usage(HYPOTHETICAL_HC, 0.0, 1.0, 75 * GBPS)
+        assert usage.max_bytes_per_sec == pytest.approx(300 * GBPS)
+        assert usage.max_fraction == pytest.approx(1.0)
+
+    def test_hc_dla_can_saturate_its_socket(self):
+        # The paper's HC-DLA: 4 devices x 75 GB/s == the whole socket.
+        usage = socket_usage(HYPOTHETICAL_HC, 75 * GBPS, 1.0, 75 * GBPS)
+        assert usage.avg_fraction == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            socket_usage(XEON, GBPS, 0.0, GBPS)
+        with pytest.raises(ValueError):
+            socket_usage(XEON, -1.0, 1.0, GBPS)

@@ -1,0 +1,154 @@
+"""Tests for the concrete system topologies (paper Figures 5 and 7)."""
+
+import pytest
+
+from repro.interconnect.builders import (VmemChannel, VmemTarget,
+                                         build_dc_dla,
+                                         build_fig7a_derivative,
+                                         build_hc_dla, build_mc_dla_ring,
+                                         build_mc_dla_star)
+from repro.interconnect.link import NVLINK, NVLINK2, PCIE_GEN4
+from repro.interconnect.topology import NodeKind, device, memory
+from repro.units import GBPS
+
+ALL_BUILDERS = (build_dc_dla, build_hc_dla, build_mc_dla_ring,
+                build_mc_dla_star, build_fig7a_derivative)
+
+
+class TestLinkBudgets:
+    @pytest.mark.parametrize("builder", ALL_BUILDERS)
+    def test_every_design_respects_n_links(self, builder):
+        st = builder()
+        st.topo.validate_link_budget(NVLINK.name)
+        for node in st.topo.nodes(NodeKind.DEVICE):
+            assert st.topo.degree(node, NVLINK.name) <= 6
+
+    def test_dc_dla_devices_use_all_six_links(self):
+        st = build_dc_dla()
+        for node in st.topo.nodes(NodeKind.DEVICE):
+            assert st.topo.degree(node, NVLINK.name) == 6
+
+
+class TestDcDla:
+    def test_three_balanced_rings(self):
+        st = build_dc_dla()
+        assert st.collective_channels() == [(8, 50 * GBPS)] * 3
+
+    def test_pcie_virtualization_channel(self):
+        st = build_dc_dla()
+        assert st.vmem.target is VmemTarget.HOST
+        assert st.vmem.peak_bw == 16 * GBPS
+        assert st.vmem.concurrent_bw == 16 * GBPS
+
+    def test_shared_uplinks_halve_concurrent_bw(self):
+        st = build_dc_dla(shared_uplinks=True)
+        assert st.vmem.concurrent_bw == 8 * GBPS
+
+    def test_pcie_gen4_option(self):
+        st = build_dc_dla(pcie=PCIE_GEN4)
+        assert st.vmem.peak_bw == 32 * GBPS
+
+    def test_scales_to_other_device_counts(self):
+        st = build_dc_dla(4)
+        assert st.n_devices == 4
+        assert all(size == 4 for size, _ in st.collective_channels())
+
+    def test_rejects_single_device(self):
+        with pytest.raises(ValueError):
+            build_dc_dla(1)
+
+
+class TestHcDla:
+    def test_half_links_to_cpu(self):
+        st = build_hc_dla()
+        hosts = st.topo.nodes(NodeKind.HOST)
+        assert len(hosts) == 2
+        for dev in st.topo.nodes(NodeKind.DEVICE):
+            cpu_links = sum(len(st.topo.links_between(dev, h))
+                            for h in hosts)
+            assert cpu_links == 3
+
+    def test_vmem_bandwidth_is_three_links(self):
+        st = build_hc_dla()
+        assert st.vmem.peak_bw == 75 * GBPS
+        assert st.vmem.target is VmemTarget.HOST
+
+    def test_half_the_collective_bandwidth_of_dc(self):
+        hc = sum(bw for _, bw in build_hc_dla().collective_channels())
+        dc = sum(bw for _, bw in build_dc_dla().collective_channels())
+        assert hc == dc / 2
+
+
+class TestMcDlaRing:
+    def test_three_16_node_rings(self):
+        st = build_mc_dla_ring()
+        assert st.collective_channels() == [(16, 50 * GBPS)] * 3
+
+    def test_alternating_ring_order(self):
+        st = build_mc_dla_ring()
+        order = st.rings.rings[0].order
+        kinds = [n.kind for n in order]
+        assert kinds == [NodeKind.MEMORY, NodeKind.DEVICE] * 8
+
+    def test_device_reaches_each_neighbour_over_three_links(self):
+        st = build_mc_dla_ring()
+        # D1 sits between M0 and M1 in all three rings.
+        assert len(st.topo.links_between(device(1), memory(0))) == 3
+        assert len(st.topo.links_between(device(1), memory(1))) == 3
+
+    def test_bw_aware_vmem_bandwidth(self):
+        st = build_mc_dla_ring()
+        assert st.vmem.target is VmemTarget.MEMORY_NODE
+        assert st.vmem.peak_bw == 150 * GBPS
+
+    def test_memory_nodes_respect_budget(self):
+        st = build_mc_dla_ring()
+        for node in st.topo.nodes(NodeKind.MEMORY):
+            assert st.topo.degree(node, NVLINK.name) == 6
+
+    def test_link_spec_override(self):
+        st = build_mc_dla_ring(link=NVLINK2)
+        assert st.vmem.peak_bw == 300 * GBPS
+
+
+class TestMcDlaStar:
+    def test_unbalanced_hop_counts(self):
+        st = build_mc_dla_star()
+        hops = sorted(h for h, _ in st.collective_channels())
+        assert hops == [8, 12, 20]
+
+    def test_two_links_of_vmem_bandwidth(self):
+        st = build_mc_dla_star()
+        assert st.vmem.peak_bw == 50 * GBPS
+
+    def test_only_defined_for_eight_devices(self):
+        with pytest.raises(ValueError):
+            build_mc_dla_star(4)
+
+
+class TestFig7aDerivative:
+    def test_24_hop_rerouted_ring(self):
+        st = build_fig7a_derivative()
+        hops = sorted(h for h, _ in st.collective_channels())
+        assert hops == [8, 8, 24]
+
+    def test_dedicated_backing_links(self):
+        st = build_fig7a_derivative()
+        assert len(st.topo.links_between(device(0), memory(0))) == 2
+        assert st.vmem.peak_bw == 50 * GBPS
+
+
+class TestVmemChannel:
+    def test_oracle_channel_carries_nothing(self):
+        channel = VmemChannel(VmemTarget.NONE, 0.0, 0.0)
+        assert channel.target is VmemTarget.NONE
+        with pytest.raises(ValueError):
+            VmemChannel(VmemTarget.NONE, 1.0, 1.0)
+
+    def test_rejects_concurrent_above_peak(self):
+        with pytest.raises(ValueError):
+            VmemChannel(VmemTarget.HOST, peak_bw=1.0, concurrent_bw=2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            VmemChannel(VmemTarget.HOST, peak_bw=0.0, concurrent_bw=0.0)

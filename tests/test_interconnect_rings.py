@@ -1,0 +1,86 @@
+"""Tests for repro.interconnect.ring."""
+
+import pytest
+
+from repro.interconnect.link import NVLINK
+from repro.interconnect.ring import Ring, RingSet
+from repro.interconnect.topology import Topology, device, memory
+from repro.units import GBPS
+
+
+def devices(n):
+    return tuple(device(i) for i in range(n))
+
+
+class TestRing:
+    def test_basic_properties(self):
+        ring = Ring("r", devices(4), NVLINK)
+        assert ring.size == 4
+        assert ring.hop_count == 4
+        assert ring.participant_count == 4
+        assert ring.algorithm_bandwidth == NVLINK.bidir_bw
+
+    def test_rejects_tiny_or_duplicated(self):
+        with pytest.raises(ValueError):
+            Ring("r", (device(0),), NVLINK)
+        with pytest.raises(ValueError):
+            Ring("r", (device(0), device(1), device(0)), NVLINK)
+        with pytest.raises(ValueError):
+            Ring("r", devices(3), NVLINK, extra_hops=-1)
+
+    def test_extra_hops_extend_cycle(self):
+        ring = Ring("r", devices(4), NVLINK, extra_hops=2)
+        assert ring.size == 4
+        assert ring.hop_count == 6
+
+    def test_non_duplex_halves_bandwidth(self):
+        ring = Ring("r", devices(4), NVLINK, duplex=False)
+        assert ring.algorithm_bandwidth == NVLINK.uni_bw
+
+    def test_mixed_ring_counts_devices_only(self):
+        order = (device(0), memory(0), device(1), memory(1))
+        ring = Ring("r", order, NVLINK)
+        assert ring.size == 4
+        assert ring.participant_count == 2
+
+    def test_edges_close_the_loop(self):
+        ring = Ring("r", devices(3), NVLINK)
+        assert ring.edges() == [(device(0), device(1)),
+                                (device(1), device(2)),
+                                (device(2), device(0))]
+
+    def test_neighbors(self):
+        ring = Ring("r", devices(4), NVLINK)
+        left, right = ring.neighbors(device(0))
+        assert (left, right) == (device(3), device(1))
+
+
+class TestRingSet:
+    def test_total_bandwidth(self):
+        rings = RingSet([Ring("a", devices(4), NVLINK),
+                         Ring("b", devices(4), NVLINK)])
+        assert rings.total_link_bw == 100 * GBPS
+        assert rings.max_ring_size == 4
+
+    def test_same_participants_validation(self):
+        good = RingSet([Ring("a", devices(4), NVLINK),
+                        Ring("b", tuple(reversed(devices(4))), NVLINK)])
+        good.validate_same_participants()
+
+        bad = RingSet([Ring("a", devices(4), NVLINK),
+                       Ring("b", devices(3), NVLINK)])
+        with pytest.raises(ValueError):
+            bad.validate_same_participants()
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            RingSet().validate_same_participants()
+
+    def test_materialize_adds_cycle_edges(self):
+        topo = Topology("t")
+        for i in range(4):
+            topo.add_node(device(i))
+        rings = RingSet([Ring("a", devices(4), NVLINK)])
+        rings.materialize(topo)
+        for node in devices(4):
+            assert topo.degree(node) == 2

@@ -1,0 +1,132 @@
+"""Tests for the memory-node substrate (paper Figure 6, Table IV)."""
+
+import pytest
+
+from repro.memnode.dimm import (DDR4_8GB_RDIMM, DDR4_128GB_LRDIMM,
+                                DIMM_CATALOG, DimmSpec, dimm_by_name)
+from repro.memnode.dma import DmaEngine
+from repro.memnode.memory_node import MemoryNodeSpec, node_with_dimm
+from repro.memnode.power import (DGX_SYSTEM_TDP_W, max_pool_capacity,
+                                 memory_node_power, perf_per_watt_gain,
+                                 table_iv)
+from repro.units import GB, GBPS, TB
+
+
+class TestDimmCatalog:
+    def test_five_table_iv_rows(self):
+        assert len(DIMM_CATALOG) == 5
+        names = [d.name for d in DIMM_CATALOG]
+        assert names[0] == "8GB-RDIMM" and names[-1] == "128GB-LRDIMM"
+
+    def test_capacity_ordering(self):
+        caps = [d.capacity for d in DIMM_CATALOG]
+        assert caps == sorted(caps)
+
+    def test_gb_per_watt_table_iv(self):
+        assert DDR4_8GB_RDIMM.gb_per_watt == pytest.approx(2.76, abs=0.05)
+        assert DDR4_128GB_LRDIMM.gb_per_watt == pytest.approx(10.08,
+                                                              abs=0.05)
+
+    def test_lookup(self):
+        assert dimm_by_name("64GB-LRDIMM").tdp_watts == 10.2
+        with pytest.raises(KeyError):
+            dimm_by_name("256GB-LRDIMM")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DimmSpec("x", "DIMM", 8 * GB, 1.0)
+        with pytest.raises(ValueError):
+            DimmSpec("x", "RDIMM", 0, 1.0)
+
+
+class TestDmaEngine:
+    def test_transfer_time(self):
+        dma = DmaEngine(setup_latency=1e-6)
+        assert dma.transfer_time(10 * GBPS, 10 * GBPS) \
+            == pytest.approx(1.0 + 1e-6)
+        assert dma.transfer_time(0, GBPS) == 0.0
+
+    def test_bandwidth_cap(self):
+        dma = DmaEngine(max_bandwidth=5 * GBPS)
+        assert dma.effective_bandwidth(10 * GBPS) == 5 * GBPS
+        assert dma.effective_bandwidth(2 * GBPS) == 2 * GBPS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DmaEngine(setup_latency=-1)
+        with pytest.raises(ValueError):
+            DmaEngine().transfer_time(-1, GBPS)
+        with pytest.raises(ValueError):
+            DmaEngine().effective_bandwidth(0)
+
+
+class TestMemoryNode:
+    def test_capacity_range_of_section_iii(self):
+        # 8 GB RDIMMs -> 80 GB; 128 GB LRDIMMs -> 1.25 TiB (paper: 1.3 TB).
+        assert node_with_dimm(DDR4_8GB_RDIMM).capacity == 80 * GB
+        assert node_with_dimm(DDR4_128GB_LRDIMM).capacity == 1280 * GB
+
+    def test_table_ii_bandwidth(self):
+        node = MemoryNodeSpec()
+        assert node.memory_bandwidth == 256 * GBPS
+
+    def test_link_partitioning(self):
+        node = MemoryNodeSpec()  # N=6 links, M=2 groups
+        assert node.links_per_group == 3
+        assert node.group_link_bw == 75 * GBPS
+        assert node.group_capacity == node.capacity // 2
+        assert node.group_memory_bw == 128 * GBPS
+
+    def test_device_read_bandwidth_link_limited(self):
+        # 3 links x 25 GB/s < 128 GB/s DIMM share: links are the bound.
+        node = MemoryNodeSpec()
+        assert node.device_read_bandwidth() == 75 * GBPS
+
+    def test_transfer_time_includes_dma_setup(self):
+        node = MemoryNodeSpec()
+        t = node.transfer_time(75 * GBPS)
+        assert t == pytest.approx(1.0 + node.dma.setup_latency)
+
+    def test_node_tdp(self):
+        assert node_with_dimm(DDR4_8GB_RDIMM).tdp_watts \
+            == pytest.approx(29.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryNodeSpec(link_groups=7)
+        with pytest.raises(ValueError):
+            MemoryNodeSpec(n_dimms=0)
+
+
+class TestPower:
+    def test_table_iv_rows(self):
+        rows = table_iv()
+        tdps = [r.node_tdp_w for r in rows]
+        assert tdps == [29.0, 66.0, 87.0, 102.0, 127.0]
+
+    def test_system_overhead_brackets(self):
+        # Paper: +7% with 8 GB RDIMMs, +31% with 128 GB LRDIMMs.
+        low = memory_node_power(DDR4_8GB_RDIMM)
+        high = memory_node_power(DDR4_128GB_LRDIMM)
+        assert low.system_overhead == pytest.approx(0.0725, abs=0.001)
+        assert high.system_overhead == pytest.approx(0.3175, abs=0.001)
+        assert low.system_tdp_w == DGX_SYSTEM_TDP_W + 232
+
+    def test_perf_per_watt_section_vc(self):
+        # With the paper's 2.8x speedup: 2.6x down to 2.1x perf/W.
+        assert perf_per_watt_gain(2.8, DDR4_8GB_RDIMM) \
+            == pytest.approx(2.61, abs=0.01)
+        assert perf_per_watt_gain(2.8, DDR4_128GB_LRDIMM) \
+            == pytest.approx(2.13, abs=0.01)
+
+    def test_pool_capacity_10_4_tb(self):
+        node = node_with_dimm(DDR4_128GB_LRDIMM)
+        assert max_pool_capacity(node) == pytest.approx(10 * TB, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_node_power(DDR4_8GB_RDIMM, n_nodes=0)
+        with pytest.raises(ValueError):
+            perf_per_watt_gain(0.0, DDR4_8GB_RDIMM)
+        with pytest.raises(ValueError):
+            max_pool_capacity(node_with_dimm(DDR4_8GB_RDIMM), 0)

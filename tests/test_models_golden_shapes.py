@@ -1,0 +1,131 @@
+"""Golden per-layer shape tests against the networks' published tables.
+
+These pin the exact feature-map and weight dimensions of well-known
+layers, so any regression in the builder arithmetic (padding, stride,
+grouping, inception wiring) is caught at the layer it happens.
+"""
+
+import pytest
+
+from repro.dnn.registry import build_network
+from repro.units import FP32_BYTES
+
+
+def out_elems(net_name, layer_name):
+    return build_network(net_name).layer(layer_name).out_elems
+
+
+def weight_elems(net_name, layer_name):
+    return build_network(net_name).layer(layer_name).weight_elems
+
+
+class TestAlexNetGolden:
+    @pytest.mark.parametrize("layer,h,w,c", [
+        ("conv1", 55, 55, 96),
+        ("conv2", 27, 27, 256),
+        ("conv3", 13, 13, 384),
+        ("conv4", 13, 13, 384),
+        ("conv5", 13, 13, 256),
+    ])
+    def test_conv_feature_maps(self, layer, h, w, c):
+        assert out_elems("AlexNet", layer) == h * w * c
+
+    @pytest.mark.parametrize("layer,params", [
+        ("conv1", 96 * 3 * 121),
+        ("conv2", 256 * 48 * 25),      # groups=2: half the inputs
+        ("conv3", 384 * 256 * 9),
+        ("conv4", 384 * 192 * 9),      # groups=2
+        ("conv5", 256 * 192 * 9),      # groups=2
+        ("fc6", 6 * 6 * 256 * 4096),
+        ("fc7", 4096 * 4096),
+        ("fc8", 4096 * 1000),
+    ])
+    def test_weights(self, layer, params):
+        assert weight_elems("AlexNet", layer) == params
+
+
+class TestVggGolden:
+    @pytest.mark.parametrize("layer,h,c", [
+        ("conv1_1", 224, 64), ("conv2_1", 112, 128),
+        ("conv3_1", 56, 256), ("conv4_1", 28, 512),
+        ("conv5_4", 14, 512),
+    ])
+    def test_stage_resolutions(self, layer, h, c):
+        assert out_elems("VGG-E", layer) == h * h * c
+
+    def test_fc6_is_the_biggest_layer(self):
+        net = build_network("VGG-E")
+        fc6 = net.layer("fc6").weight_elems
+        assert fc6 == 7 * 7 * 512 * 4096
+        assert fc6 == max(l.weight_elems for l in net.layers)
+
+
+class TestGoogLeNetGolden:
+    def test_stem(self):
+        assert out_elems("GoogLeNet", "conv1") == 112 * 112 * 64
+        assert out_elems("GoogLeNet", "conv2") == 56 * 56 * 192
+
+    @pytest.mark.parametrize("tag,channels,side", [
+        ("3a", 256, 28), ("3b", 480, 28), ("4a", 512, 14),
+        ("4e", 832, 14), ("5b", 1024, 7),
+    ])
+    def test_inception_output_channels(self, tag, channels, side):
+        assert out_elems("GoogLeNet", f"inc{tag}_out") \
+            == side * side * channels
+
+    def test_branch_wiring(self):
+        net = build_network("GoogLeNet")
+        # The concat consumes the four branches' activations, whose
+        # producers are the branch convolutions.
+        branch_convs = []
+        for relu in net.predecessors("inc3a_out"):
+            (conv,) = net.predecessors(relu)
+            branch_convs.append(conv)
+        assert branch_convs == ["inc3a_1x1", "inc3a_3x3", "inc3a_5x5",
+                                "inc3a_proj"]
+
+    def test_classifier(self):
+        assert weight_elems("GoogLeNet", "fc") == 1024 * 1000
+
+
+class TestResNetGolden:
+    @pytest.mark.parametrize("layer,side,c", [
+        ("s1b1_conv1", 56, 64), ("s2b1_conv1", 28, 128),
+        ("s3b1_conv1", 14, 256), ("s4b1_conv1", 7, 512),
+    ])
+    def test_stage_downsampling(self, layer, side, c):
+        assert out_elems("ResNet", layer) == side * side * c
+
+    def test_residual_add_wiring(self):
+        net = build_network("ResNet")
+        preds = net.predecessors("s1b1_add")
+        # Identity shortcut: the add consumes the block input directly.
+        assert "pool1" in preds and "s1b1_bn2" in preds
+
+    def test_projection_free_shortcut_on_downsample(self):
+        net = build_network("ResNet")
+        short = net.layer("s2b1_short")
+        assert short.weight_elems == 0  # option A: parameter-free
+        assert short.out_elems == 28 * 28 * 128
+
+    def test_classifier(self):
+        assert weight_elems("ResNet", "fc") == 512 * 1000
+
+
+class TestRnnGolden:
+    @pytest.mark.parametrize("name,weights_mb", [
+        ("RNN-GEMV", 2 * 2560 * 2560 * FP32_BYTES / 2 ** 20),
+        ("RNN-LSTM-1", 4 * 1024 * 2048 * FP32_BYTES / 2 ** 20),
+        ("RNN-LSTM-2", 4 * 8192 * (1024 + 8192) * FP32_BYTES / 2 ** 20),
+        ("RNN-GRU", 3 * 2816 * 5632 * FP32_BYTES / 2 ** 20),
+    ])
+    def test_cell_weight_sizes(self, name, weights_mb):
+        net = build_network(name)
+        assert net.weight_bytes() / 2 ** 20 == pytest.approx(weights_mb)
+
+    def test_lstm2_gate_gemms(self):
+        net = build_network("RNN-LSTM-2")
+        cell = net.layer("cell_t0")
+        x_gemm, h_gemm = cell.gemms
+        assert (x_gemm.n, x_gemm.k) == (4 * 8192, 1024)
+        assert (h_gemm.n, h_gemm.k) == (4 * 8192, 8192)

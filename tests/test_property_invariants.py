@@ -1,0 +1,104 @@
+"""Hypothesis property tests on end-to-end simulator invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design_points import (dc_dla, dc_dla_oracle, design_point,
+                                      mc_dla_bw)
+from repro.core.simulator import simulate
+from repro.dnn.builder import NetBuilder
+from repro.training.parallel import ParallelStrategy
+
+DESIGNS = ("DC-DLA", "HC-DLA", "MC-DLA(S)", "MC-DLA(L)", "MC-DLA(B)")
+batches = st.sampled_from([32, 64, 128, 256, 512])
+strategies = st.sampled_from([ParallelStrategy.DATA,
+                              ParallelStrategy.MODEL])
+networks = st.sampled_from(["AlexNet", "RNN-LSTM-1"])
+
+
+@st.composite
+def random_cnn(draw):
+    """A small random-but-valid CNN built through the public builder."""
+    b = NetBuilder("random")
+    x = b.image_input(32, 32, draw(st.sampled_from([1, 3, 4])))
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        channels = draw(st.sampled_from([8, 16, 32]))
+        x = b.conv(x, channels, kernel=3, pad=1)
+        if draw(st.booleans()):
+            x = b.relu(x)
+        if draw(st.booleans()) and x.height >= 2:
+            x = b.pool(x, kernel=2, stride=2)
+    x = b.fc(x, draw(st.sampled_from([10, 100])))
+    return b.build()
+
+
+class TestCrossDesignInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(networks, batches, strategies)
+    def test_oracle_lower_bounds_all_designs(self, network, batch,
+                                             strategy):
+        oracle = simulate(dc_dla_oracle(), network, batch, strategy)
+        for name in DESIGNS:
+            result = simulate(design_point(name), network, batch,
+                              strategy)
+            assert result.iteration_time \
+                >= oracle.iteration_time - 1e-12
+
+    @settings(max_examples=12, deadline=None)
+    @given(networks, batches, strategies)
+    def test_breakdown_brackets_iteration_time(self, network, batch,
+                                               strategy):
+        for name in ("DC-DLA", "MC-DLA(B)"):
+            result = simulate(design_point(name), network, batch,
+                              strategy)
+            b = result.breakdown
+            assert max(b.compute, b.sync, b.vmem) - 1e-9 \
+                <= result.iteration_time <= b.total + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(networks, batches)
+    def test_more_vmem_bandwidth_never_hurts(self, network, batch):
+        """MC-DLA(B) >= MC-DLA(L) >= MC-DLA(S) in iteration time."""
+        times = [simulate(design_point(name), network, batch).iteration_time
+                 for name in ("MC-DLA(S)", "MC-DLA(L)", "MC-DLA(B)")]
+        assert times[0] >= times[1] - 1e-12 >= times[2] - 2e-12
+
+    @settings(max_examples=8, deadline=None)
+    @given(networks, strategies)
+    def test_iteration_time_monotone_in_batch(self, network, strategy):
+        times = [simulate(mc_dla_bw(), network, b, strategy).iteration_time
+                 for b in (64, 256, 1024)]
+        assert times == sorted(times)
+
+
+class TestRandomNetworkInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(random_cnn(), batches)
+    def test_random_cnns_simulate_consistently(self, net, batch):
+        dc = simulate(dc_dla(), net, batch)
+        mc = simulate(mc_dla_bw(), net, batch)
+        oracle = simulate(dc_dla_oracle(), net, batch)
+        # Bandwidth ordering holds for arbitrary valid workloads.
+        assert oracle.iteration_time <= mc.iteration_time + 1e-12
+        assert mc.iteration_time <= dc.iteration_time + 1e-12
+        # Byte conservation: same plan bytes on both designs.
+        assert dc.offload_bytes_per_device == mc.offload_bytes_per_device
+        assert oracle.offload_bytes_per_device == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_cnn())
+    def test_compute_breakdown_at_least_oracle_compute(self, net):
+        virt = simulate(dc_dla(), net, 64)
+        oracle = simulate(dc_dla_oracle(), net, 64)
+        # Recompute can only add compute time, never remove it.
+        assert virt.breakdown.compute >= oracle.breakdown.compute - 1e-12
+
+
+class TestThroughputDefinition:
+    @settings(max_examples=8, deadline=None)
+    @given(networks, batches)
+    def test_throughput_matches_iteration_time(self, network, batch):
+        result = simulate(mc_dla_bw(), network, batch)
+        assert result.throughput \
+            == pytest.approx(batch / result.iteration_time)

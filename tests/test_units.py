@@ -1,0 +1,64 @@
+"""Tests for repro.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (GB, GBPS, KB, MB, TB, fmt_bandwidth, fmt_bytes,
+                         fmt_time, harmonic_mean)
+
+
+class TestConstants:
+    def test_binary_sizes_chain(self):
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_decimal_bandwidth(self):
+        assert GBPS == 1e9
+
+
+class TestFormatting:
+    def test_fmt_bytes_scales(self):
+        assert fmt_bytes(512) == "512.00 B"
+        assert fmt_bytes(1536) == "1.50 KiB"
+        assert fmt_bytes(3 * GB) == "3.00 GiB"
+        assert fmt_bytes(2 * TB) == "2.00 TiB"
+
+    def test_fmt_time_scales(self):
+        assert fmt_time(2.0) == "2.000 s"
+        assert fmt_time(3e-3) == "3.000 ms"
+        assert fmt_time(4e-6) == "4.000 us"
+        assert fmt_time(5e-9) == "5.0 ns"
+
+    def test_fmt_bandwidth_decimal(self):
+        assert fmt_bandwidth(25 * GBPS) == "25.0 GB/s"
+
+
+class TestHarmonicMean:
+    def test_single_value(self):
+        assert harmonic_mean([3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=32))
+    def test_bounded_by_min_and_max(self, values):
+        mean = harmonic_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=1e6),
+           st.integers(min_value=1, max_value=16))
+    def test_constant_list_is_identity(self, value, count):
+        assert harmonic_mean([value] * count) == pytest.approx(value)

@@ -1,0 +1,136 @@
+"""Tests for LOCAL / BW_AWARE page allocation (paper Figure 10)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import GBPS, MB
+from repro.vmem.allocator import (OutOfRemoteMemoryError, PlacementPolicy,
+                                  RemoteAllocator, transfer_latency)
+from repro.vmem.driver import PAGE_BYTES, AddressSpaceLayout, Tier
+
+
+def small_layout(pages_per_side=8):
+    side = pages_per_side * PAGE_BYTES
+    return AddressSpaceLayout(PAGE_BYTES, side, side)
+
+
+class TestTransferLatency:
+    def test_figure_10_algebra(self):
+        # Latency_LOCAL = D / (N*B/2); BW_AWARE = half of that.
+        d = 600 * MB
+        local = transfer_latency(d, PlacementPolicy.LOCAL, 6, 25 * GBPS)
+        aware = transfer_latency(d, PlacementPolicy.BW_AWARE, 6,
+                                 25 * GBPS)
+        assert local == pytest.approx(d / (75 * GBPS))
+        assert aware == pytest.approx(local / 2)
+
+    @given(st.integers(min_value=1, max_value=10 ** 12))
+    def test_bw_aware_never_slower(self, nbytes):
+        local = transfer_latency(nbytes, PlacementPolicy.LOCAL, 6,
+                                 25 * GBPS)
+        aware = transfer_latency(nbytes, PlacementPolicy.BW_AWARE, 6,
+                                 25 * GBPS)
+        assert aware <= local
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_latency(-1, PlacementPolicy.LOCAL, 6, GBPS)
+        with pytest.raises(ValueError):
+            transfer_latency(1, PlacementPolicy.LOCAL, 5, GBPS)
+        with pytest.raises(ValueError):
+            transfer_latency(1, PlacementPolicy.LOCAL, 6, 0)
+
+
+class TestBwAwarePlacement:
+    def test_round_robin_split(self):
+        allocator = RemoteAllocator(small_layout(),
+                                    PlacementPolicy.BW_AWARE)
+        mappings = allocator.allocate(6 * PAGE_BYTES)
+        tiers = [m.tier for m in mappings]
+        assert tiers == [Tier.REMOTE_LEFT, Tier.REMOTE_RIGHT] * 3
+
+    @given(st.integers(min_value=1, max_value=16 * PAGE_BYTES))
+    def test_even_split_within_one_page(self, nbytes):
+        allocator = RemoteAllocator(small_layout(16),
+                                    PlacementPolicy.BW_AWARE)
+        mappings = allocator.allocate(nbytes)
+        left = sum(1 for m in mappings if m.tier is Tier.REMOTE_LEFT)
+        right = len(mappings) - left
+        assert abs(left - right) <= 1
+        assert len(mappings) == math.ceil(nbytes / PAGE_BYTES)
+
+    def test_spills_to_other_side_when_full(self):
+        allocator = RemoteAllocator(small_layout(2),
+                                    PlacementPolicy.BW_AWARE)
+        mappings = allocator.allocate(4 * PAGE_BYTES)  # fills both
+        assert allocator.free_bytes == 0
+        allocator.release(mappings)
+        # Fill the left side, then a BW_AWARE alloc must still succeed.
+        allocator._next_frame[Tier.REMOTE_LEFT] = 2
+        spilled = allocator.allocate(2 * PAGE_BYTES)
+        assert all(m.tier is Tier.REMOTE_RIGHT for m in spilled)
+
+
+class TestLocalPlacement:
+    def test_single_node_placement(self):
+        allocator = RemoteAllocator(small_layout(), PlacementPolicy.LOCAL)
+        mappings = allocator.allocate(5 * PAGE_BYTES)
+        assert len({m.tier for m in mappings}) == 1
+
+    def test_alternates_sides_across_allocations(self):
+        allocator = RemoteAllocator(small_layout(), PlacementPolicy.LOCAL)
+        first = allocator.allocate(3 * PAGE_BYTES)
+        second = allocator.allocate(3 * PAGE_BYTES)
+        assert first[0].tier != second[0].tier  # emptier side chosen
+
+    def test_exhaustion_raises(self):
+        allocator = RemoteAllocator(small_layout(2), PlacementPolicy.LOCAL)
+        allocator.allocate(4 * PAGE_BYTES)
+        with pytest.raises(OutOfRemoteMemoryError):
+            allocator.allocate(PAGE_BYTES)
+
+
+class TestRelease:
+    def test_lifo_release_reclaims(self):
+        allocator = RemoteAllocator(small_layout(),
+                                    PlacementPolicy.BW_AWARE)
+        before = allocator.free_bytes
+        mappings = allocator.allocate(4 * PAGE_BYTES)
+        assert allocator.free_bytes == before - 4 * PAGE_BYTES
+        allocator.release(mappings)
+        assert allocator.free_bytes == before
+
+    def test_non_lifo_release_rejected(self):
+        allocator = RemoteAllocator(small_layout(),
+                                    PlacementPolicy.BW_AWARE)
+        first = allocator.allocate(2 * PAGE_BYTES)
+        allocator.allocate(2 * PAGE_BYTES)
+        with pytest.raises(ValueError):
+            allocator.release(first)
+
+    @given(st.lists(st.integers(min_value=1, max_value=3 * PAGE_BYTES),
+                    min_size=1, max_size=6))
+    def test_alloc_release_roundtrip_conserves_frames(self, sizes):
+        allocator = RemoteAllocator(small_layout(32),
+                                    PlacementPolicy.BW_AWARE)
+        before = allocator.free_bytes
+        stack = [allocator.allocate(size) for size in sizes]
+        while stack:
+            allocator.release(stack.pop())
+        assert allocator.free_bytes == before
+
+    def test_unique_virtual_pages(self):
+        allocator = RemoteAllocator(small_layout(),
+                                    PlacementPolicy.BW_AWARE)
+        mappings = allocator.allocate(6 * PAGE_BYTES)
+        assert len({m.virtual_page for m in mappings}) == len(mappings)
+        frames = {(m.tier, m.frame) for m in mappings}
+        assert len(frames) == len(mappings)  # injective placement
+
+    def test_rejects_zero_allocation(self):
+        allocator = RemoteAllocator(small_layout(), PlacementPolicy.LOCAL)
+        with pytest.raises(ValueError):
+            allocator.allocate(0)

@@ -1,0 +1,68 @@
+"""Tests for the driver address-space model (paper Figure 10)."""
+
+import pytest
+
+from repro.units import GB
+from repro.vmem.driver import (PAGE_BYTES, AddressSpaceLayout, PageMapping,
+                               Tier, default_layout)
+
+
+class TestLayout:
+    def test_default_layout_sizes(self):
+        layout = default_layout()
+        assert layout.local_capacity == 16 * GB
+        assert layout.left_half_capacity == layout.right_half_capacity \
+            == 640 * GB
+        assert layout.total_capacity == (16 + 1280) * GB
+
+    def test_region_bases_concatenate(self):
+        layout = default_layout()
+        # Figure 10: device-local at the bottom, remote halves above.
+        assert layout.local_base == 0
+        assert layout.left_base == layout.local_capacity
+        assert layout.right_base == layout.left_base \
+            + layout.left_half_capacity
+
+    def test_tier_of_address(self):
+        layout = default_layout()
+        assert layout.tier_of_address(0) is Tier.LOCAL
+        assert layout.tier_of_address(layout.left_base) \
+            is Tier.REMOTE_LEFT
+        assert layout.tier_of_address(layout.right_base) \
+            is Tier.REMOTE_RIGHT
+        with pytest.raises(ValueError):
+            layout.tier_of_address(layout.total_capacity)
+        with pytest.raises(ValueError):
+            layout.tier_of_address(-1)
+
+    def test_frame_counts(self):
+        layout = default_layout()
+        assert layout.frame_count(Tier.LOCAL) == 16 * GB // PAGE_BYTES
+        assert layout.frame_count(Tier.REMOTE_LEFT) \
+            == 640 * GB // PAGE_BYTES
+
+    def test_physical_address_roundtrip(self):
+        layout = default_layout()
+        mapping = PageMapping(0, Tier.REMOTE_RIGHT, 5)
+        addr = layout.physical_address(mapping)
+        assert addr == layout.right_base + 5 * PAGE_BYTES
+        assert layout.tier_of_address(addr) is Tier.REMOTE_RIGHT
+
+    def test_physical_address_rejects_overflow(self):
+        layout = default_layout()
+        too_far = layout.frame_count(Tier.REMOTE_LEFT)
+        with pytest.raises(ValueError):
+            layout.physical_address(PageMapping(0, Tier.REMOTE_LEFT,
+                                                too_far))
+
+    def test_rejects_unaligned_capacities(self):
+        with pytest.raises(ValueError):
+            AddressSpaceLayout(PAGE_BYTES + 1, PAGE_BYTES, PAGE_BYTES)
+        with pytest.raises(ValueError):
+            AddressSpaceLayout(0, PAGE_BYTES, PAGE_BYTES)
+
+    def test_page_mapping_validation(self):
+        with pytest.raises(ValueError):
+            PageMapping(-1, Tier.LOCAL, 0)
+        with pytest.raises(ValueError):
+            PageMapping(0, Tier.LOCAL, -2)

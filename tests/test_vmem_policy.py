@@ -1,0 +1,106 @@
+"""Tests for the migration policy and memory manager."""
+
+import pytest
+
+from repro.dnn.registry import build_network
+from repro.units import GBPS
+from repro.vmem.allocator import PlacementPolicy
+from repro.vmem.driver import default_layout
+from repro.vmem.manager import MemoryManager
+from repro.vmem.policy import (MigrationAction, MigrationPolicy,
+                               offload_traffic_bytes,
+                               round_trip_traffic_bytes)
+from repro.vmem.runtime_api import CopyDirection, DeviceRuntime
+
+
+class TestMigrationPolicy:
+    def test_offloads_heavy_layers_recomputes_cheap(self):
+        net = build_network("AlexNet")
+        plans = {p.producer: p for p in MigrationPolicy().plan(net, 64)}
+        assert plans["conv1"].action is MigrationAction.OFFLOAD
+        assert plans["fc6"].action is MigrationAction.OFFLOAD
+        assert plans["relu1"].action is MigrationAction.RECOMPUTE
+        assert plans["pool1"].action is MigrationAction.RECOMPUTE
+        assert plans["data"].action is MigrationAction.RESIDENT
+
+    def test_virtualize_false_makes_everything_resident(self):
+        net = build_network("AlexNet")
+        policy = MigrationPolicy(virtualize=False)
+        assert all(p.action is MigrationAction.RESIDENT
+                   for p in policy.plan(net, 64))
+
+    def test_recompute_disabled_offloads_cheap_layers(self):
+        net = build_network("AlexNet")
+        policy = MigrationPolicy(recompute_cheap=False)
+        plans = {p.producer: p for p in policy.plan(net, 64)}
+        assert plans["relu1"].action is MigrationAction.OFFLOAD
+
+    def test_offload_after_last_forward_consumer(self):
+        net = build_network("ResNet")
+        plans = {p.producer: p for p in MigrationPolicy().plan(net, 64)}
+        # A residual block input feeds both the conv path and the
+        # shortcut: it may only leave after the later consumer.
+        plan = plans["pool1"]
+        assert plan.offload_after == net.last_forward_consumer("pool1")
+
+    def test_traffic_accounting(self):
+        net = build_network("VGG-E")
+        plans = MigrationPolicy().plan(net, 64)
+        offload = offload_traffic_bytes(plans)
+        assert offload == net.virtualized_bytes(64)
+        assert round_trip_traffic_bytes(plans) == 2 * offload
+
+
+class TestMemoryManager:
+    def test_plan_summary(self):
+        manager = MemoryManager()
+        net = build_network("AlexNet")
+        plan = manager.plan(net, 64)
+        assert plan.network == "AlexNet"
+        assert plan.offload_bytes == net.virtualized_bytes(64)
+        assert len(plan.offloaded) == 8   # conv1-5, fc6-8
+        assert plan.tensor("conv1").nbytes > 0
+        with pytest.raises(KeyError):
+            plan.tensor("nope")
+
+    def test_forward_backward_execution_roundtrip(self):
+        manager = MemoryManager()
+        net = build_network("AlexNet")
+        plan = manager.plan(net, 8)
+        rt = DeviceRuntime(layout=default_layout())
+        pointers = manager.execute_forward(plan, rt)
+        assert set(pointers) == {t.producer for t in plan.offloaded}
+        assert rt.live_remote_bytes > 0
+        manager.execute_backward(plan, rt, pointers)
+        assert rt.live_remote_bytes == 0
+        # Every offload got exactly one matching prefetch.
+        out = [e for e in rt.events
+               if e.direction is CopyDirection.LOCAL_TO_REMOTE]
+        back = [e for e in rt.events
+                if e.direction is CopyDirection.REMOTE_TO_LOCAL]
+        assert len(out) == len(back) == len(plan.offloaded)
+        assert sum(e.size for e in out) == plan.offload_bytes
+
+    def test_backward_detects_leaks(self):
+        manager = MemoryManager()
+        net = build_network("AlexNet")
+        plan = manager.plan(net, 8)
+        rt = DeviceRuntime(layout=default_layout())
+        pointers = manager.execute_forward(plan, rt)
+        pointers["ghost"] = pointers[next(iter(pointers))]
+        with pytest.raises((ValueError, KeyError)):
+            manager.execute_backward(plan, rt, pointers)
+
+    def test_bw_aware_execution_is_faster(self):
+        manager = MemoryManager()
+        net = build_network("AlexNet")
+        plan = manager.plan(net, 8)
+        fast = DeviceRuntime(layout=default_layout(),
+                             policy=PlacementPolicy.BW_AWARE)
+        slow = DeviceRuntime(layout=default_layout(),
+                             policy=PlacementPolicy.LOCAL)
+        manager.execute_backward(plan, fast,
+                                 manager.execute_forward(plan, fast))
+        manager.execute_backward(plan, slow,
+                                 manager.execute_forward(plan, slow))
+        assert fast.clock == pytest.approx(slow.clock / 2)

@@ -1,0 +1,112 @@
+"""Tests for the Table I runtime API model."""
+
+import pytest
+
+from repro.units import GBPS, MB
+from repro.vmem.allocator import PlacementPolicy
+from repro.vmem.driver import PAGE_BYTES, AddressSpaceLayout, Tier
+from repro.vmem.runtime_api import CopyDirection, DeviceRuntime
+
+
+def runtime(policy=PlacementPolicy.BW_AWARE):
+    layout = AddressSpaceLayout(PAGE_BYTES, 64 * PAGE_BYTES,
+                                64 * PAGE_BYTES)
+    return DeviceRuntime(layout=layout, policy=policy)
+
+
+class TestMallocFree:
+    def test_malloc_returns_remote_pointer(self):
+        rt = runtime()
+        ptr = rt.malloc_remote(3 * PAGE_BYTES)
+        assert ptr.size == 3 * PAGE_BYTES
+        assert ptr.address >= rt.layout.left_base
+        assert len(rt.mappings_of(ptr)) == 3
+
+    def test_distinct_allocations_dont_overlap(self):
+        rt = runtime()
+        a = rt.malloc_remote(2 * PAGE_BYTES)
+        b = rt.malloc_remote(2 * PAGE_BYTES)
+        assert b.address >= a.address + 2 * PAGE_BYTES
+
+    def test_free_releases(self):
+        rt = runtime()
+        ptr = rt.malloc_remote(4 * PAGE_BYTES)
+        assert rt.live_remote_bytes == 4 * PAGE_BYTES
+        rt.free_remote(ptr)
+        assert rt.live_remote_bytes == 0
+
+    def test_double_free_rejected(self):
+        rt = runtime()
+        ptr = rt.malloc_remote(PAGE_BYTES)
+        rt.free_remote(ptr)
+        with pytest.raises(ValueError):
+            rt.free_remote(ptr)
+
+    def test_bw_aware_policy_spreads_pages(self):
+        rt = runtime(PlacementPolicy.BW_AWARE)
+        ptr = rt.malloc_remote(4 * PAGE_BYTES)
+        tiers = {m.tier for m in rt.mappings_of(ptr)}
+        assert tiers == {Tier.REMOTE_LEFT, Tier.REMOTE_RIGHT}
+
+    def test_local_policy_single_node(self):
+        rt = runtime(PlacementPolicy.LOCAL)
+        ptr = rt.malloc_remote(4 * PAGE_BYTES)
+        assert len({m.tier for m in rt.mappings_of(ptr)}) == 1
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            runtime().malloc_remote(0)
+
+
+class TestMemcpyAsync:
+    def test_local_to_remote_duration_bw_aware(self):
+        rt = runtime(PlacementPolicy.BW_AWARE)
+        ptr = rt.malloc_remote(8 * MB)
+        event = rt.memcpy_async(0, ptr.address, 8 * MB,
+                                CopyDirection.LOCAL_TO_REMOTE)
+        # BW_AWARE: (D/2) / (N*B/2) with N=6, B=25 GB/s.
+        assert event.duration == pytest.approx((4 * MB) / (75 * GBPS))
+
+    def test_local_policy_costs_double(self):
+        fast = runtime(PlacementPolicy.BW_AWARE)
+        slow = runtime(PlacementPolicy.LOCAL)
+        p1 = fast.malloc_remote(8 * MB)
+        p2 = slow.malloc_remote(8 * MB)
+        e1 = fast.memcpy_async(0, p1.address, 8 * MB,
+                               CopyDirection.LOCAL_TO_REMOTE)
+        e2 = slow.memcpy_async(0, p2.address, 8 * MB,
+                               CopyDirection.LOCAL_TO_REMOTE)
+        assert e2.duration == pytest.approx(2 * e1.duration)
+
+    def test_remote_to_local_requires_live_range(self):
+        rt = runtime()
+        with pytest.raises(ValueError):
+            rt.memcpy_async(rt.layout.left_base, 0, MB,
+                            CopyDirection.REMOTE_TO_LOCAL)
+
+    def test_host_copies_use_pcie(self):
+        rt = runtime()
+        event = rt.memcpy_async(0, 0, 16 * GBPS,
+                                CopyDirection.HOST_TO_LOCAL)
+        assert event.duration == pytest.approx(1.0)
+
+    def test_events_are_recorded_in_order(self):
+        rt = runtime()
+        ptr = rt.malloc_remote(2 * MB)
+        first = rt.memcpy_async(0, ptr.address, MB,
+                                CopyDirection.LOCAL_TO_REMOTE)
+        rt.advance_clock(first.duration)
+        second = rt.memcpy_async(ptr.address, 0, MB,
+                                 CopyDirection.REMOTE_TO_LOCAL)
+        assert rt.events == [first, second]
+        assert second.issue_time == pytest.approx(first.complete_time)
+
+    def test_clock_cannot_go_backwards(self):
+        rt = runtime()
+        with pytest.raises(ValueError):
+            rt.advance_clock(-1.0)
+
+    def test_rejects_zero_copy(self):
+        rt = runtime()
+        with pytest.raises(ValueError):
+            rt.memcpy_async(0, 0, 0, CopyDirection.HOST_TO_LOCAL)
