@@ -1,0 +1,68 @@
+"""Micro-benchmark: the campaign engine's three build modes.
+
+Times the full evaluation grid (6 designs x 8 workloads x 2
+strategies) built three ways -- cold serial, process-pool parallel,
+and warm-cache replay -- and emits the comparison to
+``benchmarks/results/``.  Warm replay must beat cold simulation by a
+wide margin; that gap is what the disk cache buys every CI run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import emit
+
+from repro.campaign import ResultCache, run_campaign
+from repro.experiments.matrix import evaluation_points
+from repro.experiments.report import format_table
+
+_TIMINGS: dict[str, float] = {}
+_POINTS = evaluation_points(512)
+_JOBS = min(4, os.cpu_count() or 1)
+
+
+def _timed(label: str, fn) -> None:
+    start = time.perf_counter()
+    report = fn()
+    _TIMINGS[label] = time.perf_counter() - start
+    report.raise_failures()
+
+
+def test_campaign_cold_serial(benchmark):
+    benchmark.pedantic(
+        lambda: _timed("cold serial (jobs=1)",
+                       lambda: run_campaign(_POINTS, jobs=1)),
+        rounds=1, iterations=1)
+
+
+def test_campaign_parallel(benchmark):
+    benchmark.pedantic(
+        lambda: _timed(f"process pool (jobs={_JOBS})",
+                       lambda: run_campaign(_POINTS, jobs=_JOBS)),
+        rounds=1, iterations=1)
+
+
+def test_campaign_warm_cache(benchmark, tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("campaign-cache"))
+    run_campaign(_POINTS, cache=cache).raise_failures()  # prewarm
+
+    def replay():
+        report = run_campaign(_POINTS, cache=cache)
+        assert all(o.cached for o in report.outcomes)
+        return report
+
+    benchmark.pedantic(
+        lambda: _timed("warm cache replay", replay),
+        rounds=1, iterations=1)
+
+    cold = _TIMINGS.get("cold serial (jobs=1)")
+    rows = [[label, f"{seconds * 1e3:.0f}",
+             (f"{cold / seconds:.1f}x" if cold else "-")]
+            for label, seconds in _TIMINGS.items()]
+    emit("Campaign engine build modes",
+         format_table(["mode", "time (ms)", "vs cold serial"], rows,
+                      title=f"Evaluation matrix ({len(_POINTS)} cells)"))
+    if cold is not None:
+        assert _TIMINGS["warm cache replay"] < cold

@@ -6,7 +6,7 @@ regressions in the simulator's own performance are visible.
 """
 
 from repro.accelerator.device import BASELINE_DEVICE
-from repro.collectives.ring_algorithm import Primitive, all_reduce_time
+from repro.collectives.ring_algorithm import all_reduce_time
 from repro.core.design_points import dc_dla, mc_dla_bw
 from repro.core.schedule import build_iteration_ops, plan_iteration
 from repro.core.simulator import simulate

@@ -5,25 +5,43 @@ Reproduces the paper's Figure 13 view interactively: throughput of every
 design normalized to the infinite-memory oracle, for data- and
 model-parallel training, plus the harmonic-mean summary speedups.
 
-Run:  python examples/design_space_sweep.py [batch]
+The grid runs through the campaign engine, so it fans out across
+worker processes and replays from the shared disk cache on a second
+invocation.
+
+Run:  python examples/design_space_sweep.py [batch] [--jobs N]
+      [--cache-dir DIR | --no-cache]
 """
 
-import sys
+import argparse
 
 from repro import BENCHMARK_NAMES, DESIGN_ORDER, harmonic_mean
+from repro.campaign import ResultCache, default_cache_dir
 from repro.experiments.fig13_performance import run_fig13
-from repro.experiments.matrix import evaluation_matrix
+from repro.experiments.matrix import compute_evaluation_matrix
 from repro.training.parallel import ParallelStrategy
 
 
 def main() -> None:
-    batch = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("batch", nargs="?", type=int, default=512)
+    parser.add_argument("-j", "--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args()
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir
+                            else default_cache_dir())
+
     print(f"Sweeping {len(DESIGN_ORDER)} designs x "
           f"{len(BENCHMARK_NAMES)} workloads x 2 strategies "
-          f"at batch {batch} ...\n")
+          f"at batch {args.batch} (jobs={args.jobs}) ...\n")
 
-    matrix = evaluation_matrix(batch)
-    fig13 = run_fig13(batch, matrix)
+    matrix = compute_evaluation_matrix(args.batch, jobs=args.jobs,
+                                       cache=cache)
+    fig13 = run_fig13(args.batch, matrix)
 
     for strategy, label in ((ParallelStrategy.DATA, "data-parallel"),
                             (ParallelStrategy.MODEL, "model-parallel")):
@@ -50,8 +68,10 @@ def main() -> None:
     fastest = BENCHMARK_NAMES[times.index(min(times))]
     print(f"Fastest workload on MC-DLA(B): {fastest} "
           f"({min(times) * 1e3:.1f} ms/iteration)")
+    dp_fracs = [fig13.perf(ParallelStrategy.DATA, n, "MC-DLA(B)")
+                for n in BENCHMARK_NAMES]
     print(f"Harmonic-mean DP oracle fraction: "
-          f"{harmonic_mean([fig13.perf(ParallelStrategy.DATA, n, 'MC-DLA(B)') for n in BENCHMARK_NAMES]) * 100:.0f}%")
+          f"{harmonic_mean(dp_fracs) * 100:.0f}%")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,10 @@
-"""Setuptools shim for environments without PEP 517 build isolation."""
+"""Setuptools shim for environments without PEP 517 build isolation.
+
+All metadata lives in ``pyproject.toml``: the ``src/`` package layout,
+``python_requires``, and the ``repro`` console entry point.  This file
+only exists so legacy ``python setup.py``-style tooling keeps working;
+``pip install -e .`` reads the pyproject configuration either way.
+"""
 
 from setuptools import setup
 

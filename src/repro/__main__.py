@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro fig13
     python -m repro all
+    python -m repro campaign --jobs 8 --networks VGG-E
 """
 
 from __future__ import annotations
@@ -108,10 +109,17 @@ def main(argv: list[str] | None = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
     if not args or args[0] in ("-h", "--help", "list"):
         print("usage: python -m repro <experiment|all>")
+        print("       python -m repro campaign [options]")
         print("experiments:")
         for key, (title, _) in EXPERIMENTS.items():
             print(f"  {key:<12} {title}")
+        print("  campaign     arbitrary sweeps over the design space "
+              "(--help for options)")
         return 0
+
+    if args[0] == "campaign":
+        from repro.campaign.cli import main as campaign_main
+        return campaign_main(args[1:])
 
     targets = list(EXPERIMENTS) if args[0] == "all" else args
     unknown = [t for t in targets if t not in EXPERIMENTS]

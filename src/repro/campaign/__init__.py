@@ -1,0 +1,33 @@
+"""Parallel, disk-cached simulation campaigns.
+
+The campaign layer turns the simulator into sweep infrastructure: a
+grid of :class:`CampaignPoint` cells fans out across a process pool,
+each finished cell is memoized in a content-addressed on-disk cache
+(keyed on the point *and* the package's source fingerprint), and every
+cell reports success or failure individually.
+
+Quickstart::
+
+    from repro.campaign import CampaignPoint, ResultCache, run_campaign
+
+    points = [CampaignPoint("MC-DLA(B)", "VGG-E", batch=256)]
+    report = run_campaign(points, jobs=4, cache=ResultCache(".cache"))
+    print(report.result("MC-DLA(B)", "VGG-E", 256,
+                        points[0].strategy).iteration_time)
+
+``python -m repro campaign`` exposes the same engine on the command
+line; the paper's evaluation matrix, sensitivity studies, ablations,
+and scalability sweeps are all declarative grids over it.
+"""
+
+from repro.campaign.cache import (CACHE_DIR_ENV, ResultCache,
+                                  code_fingerprint, default_cache_dir)
+from repro.campaign.points import CampaignPoint, canonicalize, grid
+from repro.campaign.runner import (CampaignError, CampaignReport,
+                                   CellOutcome, run_campaign)
+
+__all__ = [
+    "CACHE_DIR_ENV", "CampaignError", "CampaignPoint", "CampaignReport",
+    "CellOutcome", "ResultCache", "canonicalize", "code_fingerprint",
+    "default_cache_dir", "grid", "run_campaign",
+]

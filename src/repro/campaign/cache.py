@@ -1,0 +1,138 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Each cell of a campaign is stored as one JSON file whose name is the
+SHA-256 of everything that determines the result:
+
+* the point's canonical description (design, workload, overrides, ...);
+* the factory used to build the design point;
+* a fingerprint of the ``repro`` package's source code, so any code
+  change invalidates every cached cell at once — stale physics can
+  never leak into a fresh figure.
+
+Layout: ``<root>/<generation>/<key[:2]>/<key>.json``, where the
+generation directory is the code fingerprint (the fan-out keeps
+directories small on big sweeps).  The first write of a new generation
+prunes older generations, so edits never accumulate orphaned entries.
+Writes are atomic (tmp + rename) so concurrent campaigns sharing a
+cache directory never read torn files.  Corrupt or unreadable entries
+read as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.core.metrics import SimulationResult
+
+#: Environment variable naming a cache directory shared across runs.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (cached per process)."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/campaign``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "campaign"
+
+
+class ResultCache:
+    """A directory of content-addressed ``SimulationResult`` snapshots."""
+
+    def __init__(self, root: Path | str,
+                 code_version: str | None = None) -> None:
+        self.root = Path(root)
+        self.code_version = (code_version if code_version is not None
+                             else code_fingerprint())
+        self._pruned = False
+
+    @classmethod
+    def from_env(cls) -> "ResultCache | None":
+        """A cache at ``$REPRO_CACHE_DIR``, or ``None`` when unset."""
+        if os.environ.get(CACHE_DIR_ENV):
+            return cls(default_cache_dir())
+        return None
+
+    def key(self, description: dict, factory_id: str) -> str:
+        """The content address of one campaign cell."""
+        payload = json.dumps(
+            {"point": description, "factory": factory_id,
+             "code_version": self.code_version},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @property
+    def generation_root(self) -> Path:
+        """Where this code generation's entries live."""
+        return self.root / self.code_version[:16]
+
+    def path(self, key: str) -> Path:
+        return self.generation_root / key[:2] / f"{key}.json"
+
+    def _prune_stale_generations(self) -> None:
+        """Drop entries written by other code versions (best effort)."""
+        if self._pruned:
+            return
+        self._pruned = True
+        current = self.generation_root.name
+        try:
+            stale = [d for d in self.root.iterdir()
+                     if d.is_dir() and d.name != current]
+        except OSError:
+            return
+        for directory in stale:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def get(self, key: str) -> SimulationResult | None:
+        """The cached result for ``key``, or ``None`` on any miss."""
+        try:
+            data = json.loads(self.path(key).read_text())
+            return SimulationResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        self._prune_stale_generations()
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.generation_root.is_dir():
+            return 0
+        return sum(1 for _ in self.generation_root.glob("*/*.json"))

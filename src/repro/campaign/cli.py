@@ -1,0 +1,211 @@
+"""``python -m repro campaign``: run user-defined simulator sweeps.
+
+Any slice of the design space — not just the paper's 6x8x2 grid — can
+be swept from the command line, fanned across worker processes, and
+memoized in the shared disk cache::
+
+    python -m repro campaign --jobs 8
+    python -m repro campaign --designs "DC-DLA,MC-DLA(B)" \\
+        --networks VGG-E --batches 256,512 --format csv
+    python -m repro campaign --no-cache --format json -o grid.json
+
+Progress and the cache-hit summary go to stderr; results go to stdout
+(or ``--output``) as a table, JSON, or CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import os
+import sys
+import time
+
+from repro.campaign.cache import ResultCache, default_cache_dir
+from repro.campaign.points import grid
+from repro.campaign.runner import CampaignReport, CellOutcome, run_campaign
+from repro.core.design_points import DESIGN_ORDER
+from repro.dnn.registry import BENCHMARK_NAMES
+from repro.training.parallel import ParallelStrategy
+
+_STRATEGY_ALIASES = {
+    "data": ParallelStrategy.DATA,
+    "model": ParallelStrategy.MODEL,
+    ParallelStrategy.DATA.value: ParallelStrategy.DATA,
+    ParallelStrategy.MODEL.value: ParallelStrategy.MODEL,
+}
+
+_CSV_FIELDS = (
+    "design", "network", "batch", "strategy", "n_devices",
+    "iteration_time", "throughput", "compute", "sync", "vmem",
+    "offload_bytes_per_device", "sync_bytes",
+    "host_traffic_bytes_per_device", "fits_in_device_memory", "cached",
+)
+
+
+def _split(raw: str) -> list[str]:
+    items = [item.strip() for item in raw.split(",") if item.strip()]
+    return list(dict.fromkeys(items))  # dedupe, keep order
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Sweep simulator cells across designs, workloads, "
+                    "batch sizes, and parallelization strategies.")
+    parser.add_argument(
+        "--designs", default=",".join(DESIGN_ORDER),
+        help="comma-separated design points (default: all six)")
+    parser.add_argument(
+        "--networks", default=",".join(BENCHMARK_NAMES),
+        help="comma-separated benchmarks (default: all eight)")
+    parser.add_argument(
+        "--batches", default="512",
+        help="comma-separated batch sizes (default: 512)")
+    parser.add_argument(
+        "--strategies", default="data,model",
+        help="comma-separated strategies: data, model (default: both)")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes; 1 runs serially, 0 uses every core")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"result cache directory (default: $REPRO_CACHE_DIR or "
+             f"{default_cache_dir()})")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="simulate every cell afresh and persist nothing")
+    parser.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="output format (default: table)")
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="write results to this file instead of stdout")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-cell progress lines")
+    return parser
+
+
+def _rows(report: CampaignReport) -> list[dict]:
+    rows = []
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            continue
+        result = outcome.result
+        rows.append({
+            "design": outcome.point.name,
+            "network": result.network,
+            "batch": result.batch,
+            "strategy": result.strategy.value,
+            "n_devices": result.n_devices,
+            "iteration_time": result.iteration_time,
+            "throughput": result.throughput,
+            "compute": result.breakdown.compute,
+            "sync": result.breakdown.sync,
+            "vmem": result.breakdown.vmem,
+            "offload_bytes_per_device": result.offload_bytes_per_device,
+            "sync_bytes": result.sync_bytes,
+            "host_traffic_bytes_per_device":
+                result.host_traffic_bytes_per_device,
+            "fits_in_device_memory": result.fits_in_device_memory,
+            "cached": outcome.cached,
+        })
+    return rows
+
+
+def _render(report: CampaignReport, fmt: str) -> str:
+    rows = _rows(report)
+    if fmt == "json":
+        return json.dumps(rows, indent=2)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS,
+                                lineterminator="\n")
+        writer.writeheader()
+        writer.writerows(rows)
+        return buffer.getvalue().rstrip("\n")
+    from repro.experiments.report import format_table
+    table_rows = [[r["design"], r["network"], r["batch"], r["strategy"],
+                   r["iteration_time"] * 1e3, r["throughput"],
+                   "hit" if r["cached"] else "miss"]
+                  for r in rows]
+    return format_table(
+        ["design", "network", "batch", "strategy", "iter (ms)",
+         "samples/s", "cache"],
+        table_rows, title=f"campaign: {len(rows)} cells")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    designs = _split(args.designs)
+    unknown = [d for d in designs if d not in DESIGN_ORDER]
+    if unknown:
+        print(f"unknown design(s): {', '.join(unknown)}; "
+              f"known: {', '.join(DESIGN_ORDER)}", file=sys.stderr)
+        return 2
+    networks = _split(args.networks)
+    bad = [n for n in networks if n not in BENCHMARK_NAMES]
+    if bad:
+        print(f"unknown network(s): {', '.join(bad)}; "
+              f"known: {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
+        return 2
+    try:
+        batches = [int(b) for b in _split(args.batches)]
+        strategies = [_STRATEGY_ALIASES[s.lower()]
+                      for s in _split(args.strategies)]
+        points = grid(designs, networks, batches, strategies)
+    except (ValueError, KeyError) as exc:
+        print(f"bad axis value: {exc}", file=sys.stderr)
+        return 2
+    if not points:
+        print("empty campaign grid", file=sys.stderr)
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir
+                            else default_cache_dir())
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+
+    def report_progress(outcome: CellOutcome, done: int,
+                        total: int) -> None:
+        if args.quiet:
+            return
+        status = ("cached" if outcome.cached
+                  else "failed" if not outcome.ok
+                  else f"{outcome.elapsed * 1e3:.0f}ms")
+        point = outcome.point
+        print(f"[{done}/{total}] {point.name} {point.network} "
+              f"b{point.batch} {point.strategy.value}: {status}",
+              file=sys.stderr)
+
+    start = time.perf_counter()
+    report = run_campaign(points, jobs=jobs, cache=cache,
+                          progress=report_progress)
+    elapsed = time.perf_counter() - start
+
+    simulated = len(points) - report.cached_count - len(report.failures)
+    print(f"campaign: {len(points)} cells: {report.cached_count} from "
+          f"cache, {simulated} simulated, {len(report.failures)} failed "
+          f"({elapsed:.2f}s, jobs={jobs})", file=sys.stderr)
+
+    text = _render(report, args.format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+
+    for outcome in report.failures:
+        print(f"FAILED {outcome.point.name}/{outcome.point.network}: "
+              f"{outcome.error}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Campaign points: one simulator cell, declaratively.
+
+A :class:`CampaignPoint` names everything needed to rebuild and rerun a
+single ``simulate()`` call in another process or another month:
+
+* ``design`` — a design-point factory name (``"DC-DLA"``, ...);
+* ``network`` / ``batch`` / ``strategy`` — the workload;
+* ``overrides`` — keyword arguments for the factory, as a sorted tuple
+  of pairs (the Section V-B sensitivity variants parameterize here);
+* ``replacements`` — ``dataclasses.replace`` fields applied to the
+  built :class:`~repro.core.system.SystemConfig` (the ablation knobs
+  such as ``offload_window`` that no factory exposes);
+* ``label`` — an optional display name distinguishing variants that
+  share a factory (defaults to ``design``).
+
+Points are frozen, hashable, and picklable, so they travel to pool
+workers and hash into the on-disk cache key unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.design_points import design_point
+from repro.core.system import SystemConfig
+from repro.training.parallel import ParallelStrategy
+
+Overrides = tuple[tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One (design, network, batch, strategy) cell of a campaign."""
+
+    design: str
+    network: str
+    batch: int = 512
+    strategy: ParallelStrategy = ParallelStrategy.DATA
+    overrides: Overrides = ()
+    replacements: Overrides = ()
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0:
+            raise ValueError("batch must be positive")
+        object.__setattr__(self, "overrides",
+                           tuple(sorted(self.overrides)))
+        object.__setattr__(self, "replacements",
+                           tuple(sorted(self.replacements)))
+
+    @property
+    def name(self) -> str:
+        """The display/lookup name of this point's configuration."""
+        return self.label if self.label is not None else self.design
+
+    @property
+    def key(self) -> tuple[str, str, int, ParallelStrategy]:
+        """The (name, network, batch, strategy) lookup key."""
+        return (self.name, self.network, self.batch, self.strategy)
+
+    def build_config(self, factory=design_point) -> SystemConfig:
+        """Materialize the :class:`SystemConfig` this point describes."""
+        config = factory(self.design, **dict(self.overrides))
+        if self.replacements:
+            config = dataclasses.replace(config,
+                                         **dict(self.replacements))
+        return config
+
+    def describe(self) -> dict[str, Any]:
+        """A canonical, JSON-stable description (feeds the cache key)."""
+        return {
+            "design": self.design,
+            "network": self.network,
+            "batch": self.batch,
+            "strategy": self.strategy.value,
+            "overrides": canonicalize(self.overrides),
+            "replacements": canonicalize(self.replacements),
+        }
+
+
+def grid(designs, networks, batches=(512,),
+         strategies=(ParallelStrategy.DATA,)) -> tuple[CampaignPoint, ...]:
+    """The cross product of the four axes, in presentation order.
+
+    Iterates strategy-major then network then design, matching the
+    paper's evaluation-matrix ordering.
+    """
+    points = []
+    for strategy in strategies:
+        for network in networks:
+            for batch in batches:
+                for design in designs:
+                    points.append(CampaignPoint(
+                        design=design, network=network, batch=batch,
+                        strategy=strategy))
+    return tuple(points)
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce a value to JSON-stable primitives for cache keying.
+
+    Handles the spec objects campaigns actually pass around (frozen
+    dataclasses such as ``LinkSpec``/``DeviceSpec``), enums, and nested
+    containers; anything else falls back to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "value": value.value}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {f.name: canonicalize(getattr(value, f.name))
+                       for f in dataclasses.fields(value)},
+        }
+    if isinstance(value, (tuple, list)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v)
+                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    return {"__repr__": repr(value)}

@@ -1,0 +1,187 @@
+"""The campaign runner: fan a grid of points across processes.
+
+``run_campaign`` takes any iterable of :class:`CampaignPoint` and
+returns a :class:`CampaignReport` with one :class:`CellOutcome` per
+point, in input order.  Three properties the experiment layers rely on:
+
+* **determinism** — the simulator is pure, so serial, pooled, and
+  cache-replayed campaigns produce identical ``SimulationResult``
+  values (asserted by ``tests/test_campaign.py``);
+* **isolation** — one failing cell is reported in its outcome instead
+  of killing the sweep; callers that need all cells call
+  :meth:`CampaignReport.raise_failures`;
+* **memoization** — with a :class:`ResultCache`, finished cells are
+  replayed from disk and only misses are simulated.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.points import CampaignPoint
+from repro.core.design_points import design_point
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import simulate
+from repro.training.parallel import ParallelStrategy
+
+#: ``progress(outcome, done, total)`` called as each cell finishes.
+ProgressFn = Callable[["CellOutcome", int, int], None]
+
+
+class CampaignError(RuntimeError):
+    """Raised by :meth:`CampaignReport.raise_failures`."""
+
+    def __init__(self, failures: tuple["CellOutcome", ...]) -> None:
+        lines = [f"{len(failures)} campaign cell(s) failed:"]
+        lines += [f"  {o.point.name}/{o.point.network}"
+                  f"/b{o.point.batch}/{o.point.strategy.value}: "
+                  f"{o.error}" for o in failures]
+        super().__init__("\n".join(lines))
+        self.failures = failures
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What happened to one campaign point."""
+
+    point: CampaignPoint
+    result: SimulationResult | None
+    error: str | None = None
+    cached: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """All cell outcomes of one campaign, in input order."""
+
+    outcomes: tuple[CellOutcome, ...]
+
+    @property
+    def failures(self) -> tuple[CellOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def results(self) -> dict[tuple, SimulationResult]:
+        """``point.key`` -> result for every successful cell."""
+        return {o.point.key: o.result for o in self.outcomes if o.ok}
+
+    def result(self, name: str, network: str, batch: int,
+               strategy: ParallelStrategy) -> SimulationResult:
+        """Look one cell up by its point key; raises on failed cells."""
+        for outcome in self.outcomes:
+            if outcome.point.key == (name, network, batch, strategy):
+                if not outcome.ok:
+                    raise CampaignError((outcome,))
+                return outcome.result
+        raise KeyError((name, network, batch, strategy))
+
+    def raise_failures(self) -> "CampaignReport":
+        if self.failures:
+            raise CampaignError(self.failures)
+        return self
+
+
+def _simulate_cell(point: CampaignPoint,
+                   factory) -> tuple[SimulationResult, float]:
+    """Pool worker: build the config and run one cell (picklable)."""
+    start = time.perf_counter()
+    config = point.build_config(factory)
+    result = simulate(config, point.network, point.batch, point.strategy)
+    return result, time.perf_counter() - start
+
+
+def _check_unique_keys(points: tuple[CampaignPoint, ...]) -> None:
+    seen: dict[tuple, CampaignPoint] = {}
+    for point in points:
+        other = seen.setdefault(point.key, point)
+        if other != point:
+            raise ValueError(
+                f"two distinct points share the key {point.key}; "
+                f"give one a unique label")
+
+
+def run_campaign(points: Iterable[CampaignPoint], *, jobs: int = 1,
+                 cache: ResultCache | None = None,
+                 factory=design_point,
+                 progress: ProgressFn | None = None) -> CampaignReport:
+    """Run every point, in parallel when ``jobs > 1``.
+
+    ``factory`` maps a design name (plus overrides) to a
+    ``SystemConfig``; pass a module-level callable so pool workers can
+    import it.  Fresh successes are written back to ``cache``.
+    """
+    points = tuple(points)
+    _check_unique_keys(points)
+    total = len(points)
+    done = 0
+    outcomes: dict[int, CellOutcome] = {}
+    factory_id = f"{factory.__module__}.{factory.__qualname__}"
+
+    def record(index: int, outcome: CellOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total)
+
+    keys: dict[int, str] = {}
+    misses: list[int] = []
+    for index, point in enumerate(points):
+        if cache is not None:
+            key = cache.key(point.describe(), factory_id)
+            keys[index] = key
+            hit = cache.get(key)
+            if hit is not None:
+                record(index, CellOutcome(point, hit, cached=True))
+                continue
+        misses.append(index)
+
+    def finish(index: int, result: SimulationResult,
+               elapsed: float) -> None:
+        if cache is not None:
+            cache.put(keys[index], result)
+        record(index, CellOutcome(points[index], result,
+                                  elapsed=elapsed))
+
+    def fail(index: int, exc: BaseException) -> None:
+        error = "".join(traceback.format_exception_only(exc)).strip()
+        record(index, CellOutcome(points[index], None, error=error))
+
+    if jobs > 1 and len(misses) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pending = {pool.submit(_simulate_cell, points[i], factory): i
+                       for i in misses}
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = pending.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        fail(index, exc)
+                    else:
+                        finish(index, *future.result())
+    else:
+        for index in misses:
+            try:
+                result, elapsed = _simulate_cell(points[index], factory)
+            except Exception as exc:
+                fail(index, exc)
+            else:
+                finish(index, result, elapsed)
+
+    return CampaignReport(
+        outcomes=tuple(outcomes[i] for i in range(total)))

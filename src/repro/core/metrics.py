@@ -1,8 +1,15 @@
-"""Result records of a simulated training iteration."""
+"""Result records of a simulated training iteration.
+
+Both records round-trip losslessly through plain dicts (``to_dict`` /
+``from_dict``) so the campaign layer can persist them as JSON: floats
+survive exactly because ``json`` serializes the shortest repr that
+parses back to the same IEEE-754 value.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.training.parallel import ParallelStrategy
 
@@ -34,6 +41,15 @@ class LatencyBreakdown:
         return LatencyBreakdown(self.compute / reference_total,
                                 self.sync / reference_total,
                                 self.vmem / reference_total)
+
+    def to_dict(self) -> dict[str, float]:
+        return {"compute": self.compute, "sync": self.sync,
+                "vmem": self.vmem}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "LatencyBreakdown":
+        return cls(compute=data["compute"], sync=data["sync"],
+                   vmem=data["vmem"])
 
 
 @dataclass(frozen=True)
@@ -81,3 +97,38 @@ class SimulationResult:
                 (oracle.network, oracle.batch, oracle.strategy):
             raise ValueError("normalization requires matching workloads")
         return oracle.iteration_time / self.iteration_time
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot of this result."""
+        return {
+            "system": self.system,
+            "network": self.network,
+            "batch": self.batch,
+            "strategy": self.strategy.value,
+            "n_devices": self.n_devices,
+            "iteration_time": self.iteration_time,
+            "breakdown": self.breakdown.to_dict(),
+            "offload_bytes_per_device": self.offload_bytes_per_device,
+            "sync_bytes": self.sync_bytes,
+            "host_traffic_bytes_per_device":
+                self.host_traffic_bytes_per_device,
+            "fits_in_device_memory": self.fits_in_device_memory,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (exact)."""
+        return cls(
+            system=data["system"],
+            network=data["network"],
+            batch=data["batch"],
+            strategy=ParallelStrategy(data["strategy"]),
+            n_devices=data["n_devices"],
+            iteration_time=data["iteration_time"],
+            breakdown=LatencyBreakdown.from_dict(data["breakdown"]),
+            offload_bytes_per_device=data["offload_bytes_per_device"],
+            sync_bytes=data["sync_bytes"],
+            host_traffic_bytes_per_device=data[
+                "host_traffic_bytes_per_device"],
+            fits_in_device_memory=data["fits_in_device_memory"],
+        )

@@ -8,7 +8,7 @@ simulator consumes nothing else.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.accelerator.device import BASELINE_DEVICE, DeviceSpec
 from repro.collectives.multi_ring import (RingChannel,

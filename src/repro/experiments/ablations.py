@@ -10,14 +10,21 @@ Four ablations, each isolating one modeling/design decision:
   per-device PCIe (the baseline's generosity);
 * **interconnect shape** -- Figure 7(a) derivative vs 7(b) folded vs
   7(c) ring at identical hardware budgets.
+
+All but the recompute rule are declarative campaign grids (the window
+depth rides on ``CampaignPoint.replacements``, the 7(a) derivative on
+a custom design factory); the recompute ablation rebuilds iteration
+plans by hand because the knob lives on the migration-policy side,
+below ``simulate()``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-from repro.core.design_points import dc_dla, mc_dla_bw, mc_dla_star
-from repro.core.simulator import simulate
+from repro.campaign import CampaignPoint, ResultCache, run_campaign
+from repro.campaign.runner import CampaignReport
+from repro.core.design_points import design_point, mc_dla_star
 from repro.core.system import CollectiveModel, SystemConfig, VmemModel
 from repro.experiments.report import format_table
 from repro.interconnect.builders import build_fig7a_derivative
@@ -25,6 +32,8 @@ from repro.training.parallel import ParallelStrategy
 from repro.units import harmonic_mean
 
 ABLATION_NETWORKS = ("VGG-E", "RNN-GRU")
+
+_WINDOWS = (1, 2, 4, 8)
 
 
 @dataclass(frozen=True)
@@ -51,13 +60,6 @@ class AblationResult:
         return [r for r in self.rows if r.study == study]
 
 
-def _mean_time(config: SystemConfig, batch: int) -> float:
-    times = [simulate(config, network, batch,
-                      ParallelStrategy.DATA).iteration_time
-             for network in ABLATION_NETWORKS]
-    return harmonic_mean(times)
-
-
 def _fig7a_config() -> SystemConfig:
     topo = build_fig7a_derivative()
     star = mc_dla_star()
@@ -67,24 +69,57 @@ def _fig7a_config() -> SystemConfig:
         vmem=VmemModel(topo.vmem), memory_node=star.memory_node)
 
 
-def run_ablations(batch: int = 512) -> AblationResult:
-    rows: list[AblationRow] = []
+def ablation_design(name: str, **kwargs) -> SystemConfig:
+    """Design factory extending the paper's six with the 7(a) shape."""
+    if name == "MC-DLA(7a)":
+        return _fig7a_config()
+    return design_point(name, **kwargs)
+
+
+def ablation_points(batch: int = 512) -> tuple[CampaignPoint, ...]:
+    """The campaign grid behind ablations 1, 3, and 4."""
+    points = []
+
+    def cells(label, design, overrides=(), replacements=()):
+        for network in ABLATION_NETWORKS:
+            points.append(CampaignPoint(
+                design=design, network=network, batch=batch,
+                strategy=ParallelStrategy.DATA, overrides=overrides,
+                replacements=replacements, label=label))
 
     # 1. Offload window depth on the PCIe-bound baseline.
-    for window in (1, 2, 4, 8):
-        config = replace(dc_dla(), offload_window=window,
-                         prefetch_window=window)
-        rows.append(AblationRow("offload-window", f"w={window}",
-                                _mean_time(config, batch)))
+    for window in _WINDOWS:
+        cells(f"dc/w={window}", "DC-DLA",
+              replacements=(("offload_window", window),
+                            ("prefetch_window", window)))
+    # 3. Shared vs dedicated PCIe uplinks on the baseline.
+    cells("dc/dedicated", "DC-DLA")
+    cells("dc/shared", "DC-DLA", overrides=(("shared_uplinks", True),))
+    # 4. Interconnect shape at equal budgets (Figure 7 a/b/c).
+    cells("fig7a", "MC-DLA(7a)")
+    cells("fig7b", "MC-DLA(S)")
+    cells("fig7c", "MC-DLA(B)")
+    return tuple(points)
 
-    # 2. Recompute rule: the policy knob lives on the plan side, so
-    # emulate "no recompute" by disabling cheap-layer recomputation.
-    from repro.core.schedule import build_iteration_ops, plan_iteration
+
+def _mean_time(report: CampaignReport, label: str, batch: int) -> float:
+    times = [report.result(label, network, batch,
+                           ParallelStrategy.DATA).iteration_time
+             for network in ABLATION_NETWORKS]
+    return harmonic_mean(times)
+
+
+def _recompute_rows(batch: int) -> list[AblationRow]:
+    """Ablation 2: the recompute knob sits below ``simulate``."""
+    from repro.core.design_points import dc_dla
+    from repro.core.schedule import (IterationPlan, build_iteration_ops)
     from repro.core.timeline import run_timeline
     from repro.dnn.registry import build_network
     from repro.training.backprop import expand
-    from repro.vmem.policy import MigrationPolicy
+    from repro.training.parallel import partition
+    from repro.vmem.policy import MigrationAction, MigrationPolicy
 
+    rows = []
     for label, recompute in (("recompute-on", True),
                              ("recompute-off", False)):
         config = dc_dla()
@@ -94,9 +129,6 @@ def run_ablations(batch: int = 512) -> AblationResult:
             policy = MigrationPolicy(recompute_cheap=recompute)
             plans = policy.plan(net, batch)
             # Rebuild the iteration manually with the modified policy.
-            from repro.core.schedule import IterationPlan
-            from repro.training.parallel import partition
-            from repro.vmem.policy import MigrationAction
             parts = {p.name: p for p in partition(
                 net, batch, ParallelStrategy.DATA, config.n_devices)}
             step = expand(net, plans)
@@ -111,22 +143,31 @@ def run_ablations(batch: int = 512) -> AblationResult:
             times.append(run_timeline(ops).makespan)
         rows.append(AblationRow("recompute-rule", label,
                                 harmonic_mean(times)))
+    return rows
 
-    # 3. Shared vs dedicated PCIe uplinks on the baseline.
+
+def run_ablations(batch: int = 512, jobs: int = 1,
+                  cache: ResultCache | None = None) -> AblationResult:
+    report = run_campaign(ablation_points(batch), jobs=jobs,
+                          cache=cache,
+                          factory=ablation_design).raise_failures()
+
+    rows: list[AblationRow] = []
+    for window in _WINDOWS:
+        rows.append(AblationRow(
+            "offload-window", f"w={window}",
+            _mean_time(report, f"dc/w={window}", batch)))
+    rows.extend(_recompute_rows(batch))
     rows.append(AblationRow("pcie-uplinks", "dedicated",
-                            _mean_time(dc_dla(), batch)))
+                            _mean_time(report, "dc/dedicated", batch)))
     rows.append(AblationRow("pcie-uplinks", "shared",
-                            _mean_time(dc_dla(shared_uplinks=True),
-                                       batch)))
-
-    # 4. Interconnect shape at equal budgets (Figure 7 a/b/c).
+                            _mean_time(report, "dc/shared", batch)))
     rows.append(AblationRow("interconnect", "fig7a-derivative",
-                            _mean_time(_fig7a_config(), batch)))
+                            _mean_time(report, "fig7a", batch)))
     rows.append(AblationRow("interconnect", "fig7b-folded",
-                            _mean_time(mc_dla_star(), batch)))
+                            _mean_time(report, "fig7b", batch)))
     rows.append(AblationRow("interconnect", "fig7c-ring",
-                            _mean_time(mc_dla_bw(), batch)))
-
+                            _mean_time(report, "fig7c", batch)))
     return AblationResult(rows=tuple(rows))
 
 

@@ -9,21 +9,26 @@ Data-parallel CNN training on 1/4/8 devices, three configurations:
   devices);
 * MC-DLA(B) -- scaling regained because migration rides the device-side
   interconnect.
+
+The sweep is one declarative campaign grid; each (configuration,
+device-count) variant is a labelled point over the stock factories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.design_points import dc_dla, dc_dla_oracle, mc_dla_bw
-from repro.core.simulator import simulate
-from repro.core.system import SystemConfig
+from repro.campaign import CampaignPoint, ResultCache, run_campaign
+from repro.campaign.points import Overrides
 from repro.dnn.registry import CNN_NAMES
 from repro.experiments.report import format_table
 from repro.training.parallel import ParallelStrategy
 from repro.units import harmonic_mean
 
 DEVICE_COUNTS = (1, 4, 8)
+
+_CONFIGURATIONS = ("DC-DLA (no virtualization)", "DC-DLA (virtualized)",
+                   "MC-DLA(B)")
 
 
 @dataclass(frozen=True)
@@ -58,36 +63,54 @@ class ScalabilityResult:
         return harmonic_mean(factors)
 
 
-def _configs(n: int) -> dict[str, SystemConfig]:
-    return {
-        "DC-DLA (no virtualization)": dc_dla_oracle(n_devices=n),
-        "DC-DLA (virtualized)": dc_dla(n_devices=n, shared_uplinks=True),
-        "MC-DLA(B)": (mc_dla_bw(n_devices=max(2, n)) if n > 1
-                      else mc_dla_bw(n_devices=2)),
-    }
+def _variant(configuration: str, n: int) -> tuple[str, Overrides]:
+    """(design factory, overrides) for one configuration at ``n``."""
+    if configuration == "DC-DLA (no virtualization)":
+        return "DC-DLA(O)", (("n_devices", n),)
+    if configuration == "DC-DLA (virtualized)":
+        return "DC-DLA", (("n_devices", n), ("shared_uplinks", True))
+    # MC-DLA needs two devices to form a ring; the single-"device" case
+    # reuses a 2-node build but counts one device's share.
+    return "MC-DLA(B)", (("n_devices", max(2, n)),)
 
 
-def run_scalability(batch: int = 512) -> ScalabilityResult:
+def scalability_points(batch: int = 512) -> tuple[CampaignPoint, ...]:
     points = []
     for n in DEVICE_COUNTS:
-        for label, config in _configs(n).items():
-            effective_devices = n
+        for configuration in _CONFIGURATIONS:
+            design, overrides = _variant(configuration, n)
             for network in CNN_NAMES:
-                result = simulate(config, network, batch,
-                                  ParallelStrategy.DATA)
+                points.append(CampaignPoint(
+                    design=design, network=network, batch=batch,
+                    strategy=ParallelStrategy.DATA,
+                    overrides=overrides,
+                    label=f"{configuration}/n={n}"))
+    return tuple(points)
+
+
+def run_scalability(batch: int = 512, jobs: int = 1,
+                    cache: ResultCache | None = None) \
+        -> ScalabilityResult:
+    report = run_campaign(scalability_points(batch), jobs=jobs,
+                          cache=cache).raise_failures()
+    points = []
+    for n in DEVICE_COUNTS:
+        for configuration in _CONFIGURATIONS:
+            for network in CNN_NAMES:
+                result = report.result(f"{configuration}/n={n}",
+                                       network, batch,
+                                       ParallelStrategy.DATA)
                 # Weak scaling: node throughput is devices x per-device
-                # throughput.  The MC-DLA single-"device" case reuses a
-                # 2-node build but counts one device's share.
+                # throughput.
                 per_device = result.batch / result.iteration_time
                 points.append(ScalingPoint(
-                    label, network, n, per_device * effective_devices))
+                    configuration, network, n, per_device * n))
     return ScalabilityResult(points=tuple(points))
 
 
 def format_scalability(result: ScalabilityResult) -> str:
     rows = []
-    for configuration in ("DC-DLA (no virtualization)",
-                          "DC-DLA (virtualized)", "MC-DLA(B)"):
+    for configuration in _CONFIGURATIONS:
         for n in DEVICE_COUNTS[1:]:
             rows.append([configuration, n,
                          f"{result.mean_scaling(configuration, n):.2f}x"])

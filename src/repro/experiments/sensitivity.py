@@ -10,6 +10,11 @@ Four variations on the baseline comparison:
   up (paper: 2.9x);
 * **cDMA compression** shrinks DC-DLA's CNN migration traffic by 2.6x
   (paper: the CNN gap narrows to 2.3x).
+
+The whole section is one declarative campaign: every (variant,
+workload, strategy) cell becomes a :class:`CampaignPoint` and shared
+cells (e.g. the unmodified MC-DLA(B) grid) are simulated once instead
+of once per study.
 """
 
 from __future__ import annotations
@@ -17,9 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.accelerator.generations import TPUV2
-from repro.core.design_points import dc_dla, mc_dla_bw
-from repro.core.simulator import simulate
-from repro.core.system import SystemConfig
+from repro.campaign import CampaignPoint, ResultCache, run_campaign
+from repro.campaign.points import Overrides
+from repro.campaign.runner import CampaignReport
 from repro.dnn.registry import BENCHMARK_NAMES, CNN_NAMES
 from repro.experiments.report import format_table
 from repro.interconnect.link import NVLINK2, PCIE_GEN4
@@ -27,6 +32,23 @@ from repro.training.parallel import ParallelStrategy
 from repro.units import harmonic_mean
 
 CDMA_COMPRESSION = 2.6
+
+_STRATEGIES = (ParallelStrategy.DATA, ParallelStrategy.MODEL)
+
+#: label -> (design factory, factory overrides, networks to sweep).
+_VARIANTS: dict[str, tuple[str, Overrides, tuple[str, ...]]] = {
+    "dc": ("DC-DLA", (), BENCHMARK_NAMES),
+    "dc/gen4": ("DC-DLA", (("pcie", PCIE_GEN4),), BENCHMARK_NAMES),
+    "dc/tpuv2": ("DC-DLA", (("device", TPUV2),), BENCHMARK_NAMES),
+    "dc/dgx2": ("DC-DLA", (("n_devices", 16), ("link", NVLINK2)),
+                BENCHMARK_NAMES),
+    "dc/cdma": ("DC-DLA", (("compression", CDMA_COMPRESSION),),
+                CNN_NAMES),
+    "mc": ("MC-DLA(B)", (), BENCHMARK_NAMES),
+    "mc/tpuv2": ("MC-DLA(B)", (("device", TPUV2),), BENCHMARK_NAMES),
+    "mc/dgx2": ("MC-DLA(B)", (("n_devices", 16), ("link", NVLINK2)),
+                BENCHMARK_NAMES),
+}
 
 
 @dataclass(frozen=True)
@@ -50,37 +72,50 @@ class SensitivityResult:
         raise KeyError(name)
 
 
-def _gap(dc: SystemConfig, mc: SystemConfig, networks: tuple[str, ...],
-         batch: int) -> float:
+def sensitivity_points(batch: int = 512) -> tuple[CampaignPoint, ...]:
+    """Every cell Section V-B needs, as one deduplicated grid."""
+    points = []
+    for label, (design, overrides, networks) in _VARIANTS.items():
+        for strategy in _STRATEGIES:
+            for network in networks:
+                points.append(CampaignPoint(
+                    design=design, network=network, batch=batch,
+                    strategy=strategy, overrides=overrides,
+                    label=label))
+    return tuple(points)
+
+
+def _gap(report: CampaignReport, dc_label: str, mc_label: str,
+         networks: tuple[str, ...], batch: int) -> float:
     speedups = []
-    for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
+    for strategy in _STRATEGIES:
         for network in networks:
-            base = simulate(dc, network, batch, strategy)
-            ours = simulate(mc, network, batch, strategy)
+            base = report.result(dc_label, network, batch, strategy)
+            ours = report.result(mc_label, network, batch, strategy)
             speedups.append(ours.speedup_over(base))
     return harmonic_mean(speedups)
 
 
-def run_sensitivity(batch: int = 512) -> SensitivityResult:
-    baseline_gap = _gap(dc_dla(), mc_dla_bw(), BENCHMARK_NAMES, batch)
+def run_sensitivity(batch: int = 512, jobs: int = 1,
+                    cache: ResultCache | None = None) \
+        -> SensitivityResult:
+    report = run_campaign(sensitivity_points(batch), jobs=jobs,
+                          cache=cache).raise_failures()
 
-    gen4_gap = _gap(dc_dla(pcie=PCIE_GEN4), mc_dla_bw(),
-                    BENCHMARK_NAMES, batch)
-    tpu_gap = _gap(dc_dla(device=TPUV2), mc_dla_bw(device=TPUV2),
-                   BENCHMARK_NAMES, batch)
-    dgx2_gap = _gap(dc_dla(n_devices=16, link=NVLINK2),
-                    mc_dla_bw(n_devices=16, link=NVLINK2),
-                    BENCHMARK_NAMES, batch)
-    cdma_gap = _gap(dc_dla(compression=CDMA_COMPRESSION), mc_dla_bw(),
-                    CNN_NAMES, batch)
+    baseline_gap = _gap(report, "dc", "mc", BENCHMARK_NAMES, batch)
+    gen4_gap = _gap(report, "dc/gen4", "mc", BENCHMARK_NAMES, batch)
+    tpu_gap = _gap(report, "dc/tpuv2", "mc/tpuv2", BENCHMARK_NAMES,
+                   batch)
+    dgx2_gap = _gap(report, "dc/dgx2", "mc/dgx2", BENCHMARK_NAMES,
+                    batch)
+    cdma_gap = _gap(report, "dc/cdma", "mc", CNN_NAMES, batch)
 
     # DC-DLA's own improvement from gen4 (averaged across the grid).
     improvements = []
-    for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
+    for strategy in _STRATEGIES:
         for network in BENCHMARK_NAMES:
-            gen3 = simulate(dc_dla(), network, batch, strategy)
-            gen4 = simulate(dc_dla(pcie=PCIE_GEN4), network, batch,
-                            strategy)
+            gen3 = report.result("dc", network, batch, strategy)
+            gen4 = report.result("dc/gen4", network, batch, strategy)
             improvements.append(gen4.speedup_over(gen3))
     dc_gen4 = harmonic_mean(improvements) - 1.0
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.collectives.ring_algorithm import Primitive
 from repro.dnn.graph import Network
-from repro.dnn.layers import Layer, LayerKind
+from repro.dnn.layers import LayerKind
 from repro.dnn.shapes import Gemm
 from repro.units import FP32_BYTES
 

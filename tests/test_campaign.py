@@ -1,0 +1,217 @@
+"""Tests for the campaign layer: points, cache, runner, and CLI.
+
+The acceptance property: evaluation-matrix cells are byte-identical
+whether computed serially, via the process pool, or replayed from the
+on-disk cache (frozen-dataclass equality compares every float exactly,
+so ``==`` is the byte-identity assertion).
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (CampaignError, CampaignPoint, ResultCache,
+                            grid, run_campaign)
+from repro.campaign.cache import code_fingerprint
+from repro.campaign.cli import main as campaign_cli
+from repro.campaign.points import canonicalize
+from repro.core.design_points import design_point
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import simulate
+from repro.experiments.matrix import evaluation_points
+from repro.interconnect.link import PCIE_GEN4
+from repro.training.parallel import ParallelStrategy
+
+SMALL_GRID = grid(("DC-DLA", "MC-DLA(B)"), ("AlexNet", "RNN-GEMV"),
+                  (512,), (ParallelStrategy.DATA,))
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestPoints:
+    def test_grid_shape_and_order(self):
+        points = grid(("DC-DLA",), ("AlexNet", "VGG-E"), (256, 512),
+                      (ParallelStrategy.DATA, ParallelStrategy.MODEL))
+        assert len(points) == 4 * 2
+        assert points[0].strategy is ParallelStrategy.DATA
+        assert points[-1].strategy is ParallelStrategy.MODEL
+        assert points[0].batch == 256
+
+    def test_build_config_with_overrides_and_replacements(self):
+        point = CampaignPoint(
+            "DC-DLA", "AlexNet",
+            overrides=(("pcie", PCIE_GEN4),),
+            replacements=(("offload_window", 4),))
+        config = point.build_config()
+        assert config.offload_window == 4
+        assert config.vmem.channel.peak_bw \
+            == pytest.approx(PCIE_GEN4.uni_bw)
+
+    def test_label_defaults_to_design(self):
+        point = CampaignPoint("DC-DLA", "AlexNet")
+        assert point.name == "DC-DLA"
+        assert CampaignPoint("DC-DLA", "AlexNet", label="x").name == "x"
+
+    def test_canonicalize_is_json_stable(self):
+        payload = canonicalize((("pcie", PCIE_GEN4),
+                                ("strategy", ParallelStrategy.DATA)))
+        assert json.dumps(payload) == json.dumps(payload)
+        assert "__dataclass__" in json.dumps(payload)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            CampaignPoint("DC-DLA", "AlexNet", batch=0)
+
+
+class TestSerialization:
+    def test_json_round_trip_is_exact(self):
+        result = simulate(design_point("DC-DLA"), "AlexNet", 512,
+                          ParallelStrategy.DATA)
+        replayed = SimulationResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert replayed == result
+        assert replayed.breakdown == result.breakdown
+
+    def test_strategy_survives(self):
+        result = simulate(design_point("MC-DLA(B)"), "RNN-GEMV", 512,
+                          ParallelStrategy.MODEL)
+        replayed = SimulationResult.from_dict(result.to_dict())
+        assert replayed.strategy is ParallelStrategy.MODEL
+
+
+class TestCache:
+    def test_miss_then_hit(self, cache):
+        first = run_campaign(SMALL_GRID, cache=cache)
+        assert all(not o.cached for o in first.outcomes)
+        assert len(cache) == len(SMALL_GRID)
+        second = run_campaign(SMALL_GRID, cache=cache)
+        assert all(o.cached for o in second.outcomes)
+        assert second.results == first.results
+
+    def test_code_version_invalidates_and_prunes(self, tmp_path):
+        old = ResultCache(tmp_path, code_version="v-old")
+        new = ResultCache(tmp_path, code_version="v-new")
+        run_campaign(SMALL_GRID[:1], cache=old)
+        assert old.generation_root.is_dir()
+        report = run_campaign(SMALL_GRID[:1], cache=new)
+        assert not report.outcomes[0].cached
+        # The first write of the new generation prunes the old one.
+        assert not old.generation_root.exists()
+        assert len(new) == 1
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        run_campaign(SMALL_GRID[:1], cache=cache)
+        (entry,) = cache.generation_root.glob("*/*.json")
+        entry.write_text("{not json")
+        report = run_campaign(SMALL_GRID[:1], cache=cache)
+        assert not report.outcomes[0].cached
+        assert report.outcomes[0].ok
+
+    def test_fingerprint_is_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestRunner:
+    def test_serial_pool_and_replay_are_byte_identical(self, cache):
+        """The acceptance criterion, on the paper's full grid."""
+        points = evaluation_points(512)
+        serial = run_campaign(points, jobs=1)
+        pooled = run_campaign(points, jobs=2, cache=cache)
+        replayed = run_campaign(points, jobs=1, cache=cache)
+        assert all(o.cached for o in replayed.outcomes)
+        assert serial.results == pooled.results
+        assert serial.results == replayed.results
+
+    def test_failing_cell_does_not_kill_the_sweep(self):
+        bad = CampaignPoint("DC-DLA", "AlexNet",
+                            replacements=(("offload_window", 0),),
+                            label="broken")
+        report = run_campaign(SMALL_GRID + (bad,))
+        assert len(report.failures) == 1
+        assert "windows must be >= 1" in report.failures[0].error
+        assert sum(o.ok for o in report.outcomes) == len(SMALL_GRID)
+        with pytest.raises(CampaignError):
+            report.raise_failures()
+
+    def test_failing_cell_in_pool(self):
+        bad = CampaignPoint("DC-DLA", "AlexNet",
+                            replacements=(("offload_window", 0),),
+                            label="broken")
+        report = run_campaign(SMALL_GRID + (bad,), jobs=2)
+        assert len(report.failures) == 1
+        assert sum(o.ok for o in report.outcomes) == len(SMALL_GRID)
+
+    def test_duplicate_keys_rejected(self):
+        clash = CampaignPoint("DC-DLA", "AlexNet", label="x")
+        other = CampaignPoint("MC-DLA(B)", "AlexNet", label="x")
+        with pytest.raises(ValueError, match="unique label"):
+            run_campaign((clash, other))
+
+    def test_result_lookup(self):
+        report = run_campaign(SMALL_GRID)
+        result = report.result("DC-DLA", "AlexNet", 512,
+                               ParallelStrategy.DATA)
+        assert result.system == "DC-DLA"
+        with pytest.raises(KeyError):
+            report.result("DC-DLA", "nope", 512, ParallelStrategy.DATA)
+
+    def test_progress_callback(self):
+        seen = []
+        run_campaign(SMALL_GRID,
+                     progress=lambda o, done, total:
+                     seen.append((done, total)))
+        assert seen == [(i + 1, len(SMALL_GRID))
+                        for i in range(len(SMALL_GRID))]
+
+
+class TestCli:
+    def test_json_output(self, tmp_path, capsys):
+        code = campaign_cli([
+            "--designs", "DC-DLA", "--networks", "AlexNet",
+            "--strategies", "data", "--no-cache", "--format", "json",
+            "--quiet"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["design"] == "DC-DLA"
+        assert rows[0]["iteration_time"] > 0
+
+    def test_second_run_hits_cache(self, tmp_path, capsys):
+        argv = ["--designs", "MC-DLA(B)", "--networks", "RNN-GEMV",
+                "--strategies", "data", "--cache-dir",
+                str(tmp_path / "c"), "--quiet"]
+        assert campaign_cli(argv) == 0
+        first = capsys.readouterr().err
+        assert "0 from cache, 1 simulated" in first
+        assert campaign_cli(argv) == 0
+        second = capsys.readouterr().err
+        assert "1 from cache, 0 simulated" in second
+
+    def test_csv_output_to_file(self, tmp_path):
+        out = tmp_path / "grid.csv"
+        code = campaign_cli([
+            "--designs", "DC-DLA", "--networks", "AlexNet",
+            "--strategies", "data", "--no-cache", "--format", "csv",
+            "--output", str(out), "--quiet"])
+        assert code == 0
+        header, row = out.read_text().strip().splitlines()
+        assert header.startswith("design,network,batch,strategy")
+        assert row.startswith("DC-DLA,AlexNet,512,data-parallel")
+
+    def test_unknown_design_rejected(self, capsys):
+        assert campaign_cli(["--designs", "NOPE"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+
+class TestMatrixIntegration:
+    def test_matrix_via_cache_matches_uncached(self, tmp_path):
+        from repro.experiments.matrix import compute_evaluation_matrix
+        cache = ResultCache(tmp_path / "m")
+        fresh = compute_evaluation_matrix(512)
+        warmed = compute_evaluation_matrix(512, cache=cache)
+        replayed = compute_evaluation_matrix(512, jobs=2, cache=cache)
+        assert fresh.results == warmed.results
+        assert fresh.results == replayed.results

@@ -1,6 +1,5 @@
 """Tests for the iteration schedule builder."""
 
-import pytest
 
 from repro.core.design_points import dc_dla, dc_dla_oracle, mc_dla_bw
 from repro.core.schedule import build_iteration_ops, plan_iteration

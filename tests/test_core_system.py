@@ -7,7 +7,7 @@ from repro.collectives.multi_ring import RingChannel
 from repro.collectives.ring_algorithm import Primitive
 from repro.core.design_points import (DESIGN_ORDER, all_design_points,
                                       dc_dla, dc_dla_oracle, design_point,
-                                      hc_dla, mc_dla_bw, mc_dla_local,
+                                      mc_dla_bw, mc_dla_local,
                                       mc_dla_star, single_device)
 from repro.core.system import CollectiveModel, SystemConfig, VmemModel
 from repro.interconnect.builders import NO_VMEM, VmemChannel, VmemTarget

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dnn.registry import build_network
-from repro.units import GBPS
 from repro.vmem.allocator import PlacementPolicy
 from repro.vmem.driver import default_layout
 from repro.vmem.manager import MemoryManager
