@@ -1,0 +1,30 @@
+"""Regenerates the pipeline-parallel comparison study."""
+
+from conftest import emit
+
+from repro.core.design_points import DESIGN_ORDER
+from repro.dnn.registry import TRANSFORMER_NAMES
+from repro.experiments.pipeline_comparison import (
+    format_pipeline_comparison, run_pipeline_comparison)
+
+
+def test_pipeline_comparison(benchmark):
+    study = benchmark.pedantic(run_pipeline_comparison, rounds=1,
+                               iterations=1)
+    emit("Pipeline parallelism: schedules x designs on transformers",
+         format_pipeline_comparison(study))
+
+    for network in TRANSFORMER_NAMES:
+        for design in DESIGN_ORDER:
+            # 1F1B's bounded activation stash strictly beats GPipe's
+            # fill-drain bubble on every design.
+            assert study.schedule_gap(network, design) > 0
+            # Microbatched pipelining beats flat data-parallel weak
+            # scaling on transformer stacks everywhere.
+            data = study.result(network, design, "data")
+            piped = study.result(network, design, "pipeline/1f1b")
+            assert piped.iteration_time < data.iteration_time
+        # The device-centric design pays the largest fill-drain
+        # penalty; memory-centric designs shrink the schedule gap.
+        assert study.schedule_gap(network, "DC-DLA") \
+            > study.schedule_gap(network, "MC-DLA(B)")

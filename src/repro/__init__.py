@@ -14,18 +14,21 @@ Public API quickstart::
     print(f"speedup: {ours.speedup_over(base):.2f}x")
 """
 
-from repro.core import (DESIGN_ORDER, LatencyBreakdown, SimulationResult,
-                        SystemConfig, all_design_points, design_point,
+from repro.core import (DESIGN_ORDER, LatencyBreakdown, PipelineStats,
+                        SimulationResult, SystemConfig,
+                        all_design_points, design_point,
                         host_bandwidth_usage, simulate)
-from repro.dnn import BENCHMARK_NAMES, Network, build_network
+from repro.dnn import (BENCHMARK_NAMES, WORKLOAD_NAMES, Network,
+                       build_network)
 from repro.training import ParallelStrategy
 from repro.units import harmonic_mean
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BENCHMARK_NAMES", "DESIGN_ORDER", "LatencyBreakdown", "Network",
-    "ParallelStrategy", "SimulationResult", "SystemConfig",
-    "all_design_points", "build_network", "design_point",
-    "harmonic_mean", "host_bandwidth_usage", "simulate", "__version__",
+    "ParallelStrategy", "PipelineStats", "SimulationResult",
+    "SystemConfig", "WORKLOAD_NAMES", "all_design_points",
+    "build_network", "design_point", "harmonic_mean",
+    "host_bandwidth_usage", "simulate", "__version__",
 ]

@@ -6,10 +6,12 @@ Usage::
     python -m repro fig13
     python -m repro all
     python -m repro campaign --jobs 8 --networks VGG-E
+    python -m repro trace "MC-DLA(B)" GPT2 --strategy pipeline
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from collections.abc import Callable
 
@@ -88,6 +90,12 @@ def _scaleout() -> str:
     return format_scaleout(run_scaleout())
 
 
+def _pipeline() -> str:
+    from repro.experiments.pipeline_comparison import (
+        format_pipeline_comparison, run_pipeline_comparison)
+    return format_pipeline_comparison(run_pipeline_comparison())
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig2": ("Figure 2: device generations vs PCIe overhead", _fig2),
     "fig9": ("Figure 9: ring collective latency", _fig9),
@@ -102,7 +110,69 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "ablations": ("Design-choice ablations", _ablations),
     "productivity": ("Section V-E: user productivity", _productivity),
     "scaleout": ("Section VI: scale-out plane", _scaleout),
+    "pipeline": ("Pipeline parallelism: schedules x designs on "
+                 "transformers", _pipeline),
 }
+
+
+def _trace_main(argv: list[str]) -> int:
+    """``python -m repro trace``: export one iteration's Chrome trace."""
+    from repro.core.design_points import DESIGN_ORDER, design_point
+    from repro.core.simulator import iteration_timeline
+    from repro.core.trace import engine_utilization, to_chrome_trace
+    from repro.dnn.registry import WORKLOAD_NAMES
+    from repro.training.parallel import ParallelStrategy
+
+    strategies = {"data": ParallelStrategy.DATA,
+                  "model": ParallelStrategy.MODEL,
+                  "pipeline": ParallelStrategy.PIPELINE}
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Write the Chrome/Perfetto trace JSON of one "
+                    "simulated training iteration.")
+    parser.add_argument("design", help=f"one of {', '.join(DESIGN_ORDER)}")
+    parser.add_argument("network",
+                        help=f"one of {', '.join(WORKLOAD_NAMES)}")
+    parser.add_argument("--batch", type=int, default=512,
+                        help="global batch size (default: 512)")
+    parser.add_argument("--strategy", choices=sorted(strategies),
+                        default="data",
+                        help="parallelization strategy (default: data)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default: derived from the "
+                             "design/network/strategy)")
+    args = parser.parse_args(argv)
+
+    if args.design not in DESIGN_ORDER:
+        print(f"unknown design point {args.design!r}; known: "
+              f"{', '.join(DESIGN_ORDER)}", file=sys.stderr)
+        return 2
+    if args.network not in WORKLOAD_NAMES:
+        print(f"unknown network {args.network!r}; known: "
+              f"{', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
+        return 2
+
+    strategy = strategies[args.strategy]
+    config = design_point(args.design)
+    timeline = iteration_timeline(config, args.network, args.batch,
+                                  strategy)
+    text = to_chrome_trace(
+        timeline, include_bubbles=strategy is ParallelStrategy.PIPELINE)
+
+    path = args.output
+    if path is None:
+        slug = "".join(c if c.isalnum() else "-" for c in
+                       f"{args.design}-{args.network}-{args.strategy}")
+        path = f"{slug.lower()}.trace.json"
+    with open(path, "w") as handle:
+        handle.write(text)
+
+    util = engine_utilization(timeline)
+    summary = " ".join(f"{k}={v:.2f}" for k, v in util.items())
+    print(f"wrote {path}: {len(timeline.scheduled)} ops, "
+          f"makespan {timeline.makespan * 1e3:.3f} ms, "
+          f"utilization {summary}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -110,16 +180,22 @@ def main(argv: list[str] | None = None) -> int:
     if not args or args[0] in ("-h", "--help", "list"):
         print("usage: python -m repro <experiment|all>")
         print("       python -m repro campaign [options]")
+        print("       python -m repro trace <design> <network> [options]")
         print("experiments:")
         for key, (title, _) in EXPERIMENTS.items():
             print(f"  {key:<12} {title}")
         print("  campaign     arbitrary sweeps over the design space "
+              "(--help for options)")
+        print("  trace        Chrome/Perfetto trace of one iteration "
               "(--help for options)")
         return 0
 
     if args[0] == "campaign":
         from repro.campaign.cli import main as campaign_main
         return campaign_main(args[1:])
+
+    if args[0] == "trace":
+        return _trace_main(args[1:])
 
     targets = list(EXPERIMENTS) if args[0] == "all" else args
     unknown = [t for t in targets if t not in EXPERIMENTS]

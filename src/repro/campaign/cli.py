@@ -24,24 +24,27 @@ import sys
 import time
 
 from repro.campaign.cache import ResultCache, default_cache_dir
-from repro.campaign.points import grid
+from repro.campaign.points import grid, pipeline_grid
 from repro.campaign.runner import CampaignReport, CellOutcome, run_campaign
 from repro.core.design_points import DESIGN_ORDER
-from repro.dnn.registry import BENCHMARK_NAMES
+from repro.dnn.registry import BENCHMARK_NAMES, WORKLOAD_NAMES
 from repro.training.parallel import ParallelStrategy
 
 _STRATEGY_ALIASES = {
     "data": ParallelStrategy.DATA,
     "model": ParallelStrategy.MODEL,
+    "pipeline": ParallelStrategy.PIPELINE,
     ParallelStrategy.DATA.value: ParallelStrategy.DATA,
     ParallelStrategy.MODEL.value: ParallelStrategy.MODEL,
+    ParallelStrategy.PIPELINE.value: ParallelStrategy.PIPELINE,
 }
 
 _CSV_FIELDS = (
     "design", "network", "batch", "strategy", "n_devices",
     "iteration_time", "throughput", "compute", "sync", "vmem",
     "offload_bytes_per_device", "sync_bytes",
-    "host_traffic_bytes_per_device", "fits_in_device_memory", "cached",
+    "host_traffic_bytes_per_device", "fits_in_device_memory",
+    "bubble_fraction", "cached",
 )
 
 
@@ -60,13 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated design points (default: all six)")
     parser.add_argument(
         "--networks", default=",".join(BENCHMARK_NAMES),
-        help="comma-separated benchmarks (default: all eight)")
+        help="comma-separated workloads (default: the paper's eight; "
+             "transformer extensions: "
+             + ", ".join(n for n in WORKLOAD_NAMES
+                         if n not in BENCHMARK_NAMES) + ")")
     parser.add_argument(
         "--batches", default="512",
         help="comma-separated batch sizes (default: 512)")
     parser.add_argument(
         "--strategies", default="data,model",
-        help="comma-separated strategies: data, model (default: both)")
+        help="comma-separated strategies: data, model, pipeline "
+             "(default: data,model)")
+    parser.add_argument(
+        "--pipeline-schedules", default="1f1b",
+        help="comma-separated microbatch schedules for pipeline cells: "
+             "1f1b, gpipe (default: 1f1b)")
+    parser.add_argument(
+        "--microbatches", type=int, default=8,
+        help="microbatches per pipeline iteration (default: 8)")
     parser.add_argument(
         "-j", "--jobs", type=int, default=1,
         help="worker processes; 1 runs serially, 0 uses every core")
@@ -111,6 +125,11 @@ def _rows(report: CampaignReport) -> list[dict]:
             "host_traffic_bytes_per_device":
                 result.host_traffic_bytes_per_device,
             "fits_in_device_memory": result.fits_in_device_memory,
+            "bubble_fraction": (result.pipeline.bubble_fraction
+                                if result.pipeline is not None
+                                else None),
+            "pipeline": (result.pipeline.to_dict()
+                         if result.pipeline is not None else None),
             "cached": outcome.cached,
         })
     return rows
@@ -122,8 +141,10 @@ def _render(report: CampaignReport, fmt: str) -> str:
         return json.dumps(rows, indent=2)
     if fmt == "csv":
         buffer = io.StringIO()
+        # The structured "pipeline" sub-dict is JSON-only.
         writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS,
-                                lineterminator="\n")
+                                lineterminator="\n",
+                                extrasaction="ignore")
         writer.writeheader()
         writer.writerows(rows)
         return buffer.getvalue().rstrip("\n")
@@ -148,16 +169,28 @@ def main(argv: list[str] | None = None) -> int:
               f"known: {', '.join(DESIGN_ORDER)}", file=sys.stderr)
         return 2
     networks = _split(args.networks)
-    bad = [n for n in networks if n not in BENCHMARK_NAMES]
+    bad = [n for n in networks if n not in WORKLOAD_NAMES]
     if bad:
         print(f"unknown network(s): {', '.join(bad)}; "
-              f"known: {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
+              f"known: {', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
+        return 2
+    schedules = _split(args.pipeline_schedules)
+    bad_schedules = [s for s in schedules if s not in ("1f1b", "gpipe")]
+    if bad_schedules:
+        print(f"unknown schedule(s): {', '.join(bad_schedules)}; "
+              f"known: 1f1b, gpipe", file=sys.stderr)
         return 2
     try:
         batches = [int(b) for b in _split(args.batches)]
         strategies = [_STRATEGY_ALIASES[s.lower()]
                       for s in _split(args.strategies)]
-        points = grid(designs, networks, batches, strategies)
+        flat = [s for s in strategies
+                if s is not ParallelStrategy.PIPELINE]
+        points = grid(designs, networks, batches, flat) if flat else ()
+        if ParallelStrategy.PIPELINE in strategies:
+            points += pipeline_grid(designs, networks, batches,
+                                    schedules=schedules,
+                                    microbatches=args.microbatches)
     except (ValueError, KeyError) as exc:
         print(f"bad axis value: {exc}", file=sys.stderr)
         return 2

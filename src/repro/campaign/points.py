@@ -99,6 +99,33 @@ def grid(designs, networks, batches=(512,),
     return tuple(points)
 
 
+def pipeline_grid(designs, networks, batches=(512,),
+                  schedules=("1f1b", "gpipe"),
+                  microbatches: int = 8,
+                  stages: int = 0) -> tuple[CampaignPoint, ...]:
+    """Pipeline-parallel cells: one point per (schedule, cell).
+
+    The schedule and microbatch knobs ride in ``replacements`` (they
+    are :class:`~repro.core.system.SystemConfig` fields), and each
+    schedule variant gets a ``design|schedule`` label so the two
+    variants of one design coexist in a single campaign.
+    """
+    points = []
+    for schedule in schedules:
+        for network in networks:
+            for batch in batches:
+                for design in designs:
+                    points.append(CampaignPoint(
+                        design=design, network=network, batch=batch,
+                        strategy=ParallelStrategy.PIPELINE,
+                        replacements=(
+                            ("pipeline_microbatches", microbatches),
+                            ("pipeline_schedule", schedule),
+                            ("pipeline_stages", stages)),
+                        label=f"{design}|{schedule}"))
+    return tuple(points)
+
+
 def canonicalize(value: Any) -> Any:
     """Reduce a value to JSON-stable primitives for cache keying.
 

@@ -5,21 +5,23 @@ from repro.core.design_points import (DESIGN_ORDER, all_design_points,
                                       hc_dla, mc_dla_bw, mc_dla_local,
                                       mc_dla_star, single_device,
                                       single_device_oracle)
-from repro.core.metrics import LatencyBreakdown, SimulationResult
+from repro.core.metrics import (LatencyBreakdown, PipelineStats,
+                                SimulationResult)
 from repro.core.schedule import (IterationPlan, build_iteration_ops,
                                  plan_iteration)
 from repro.core.simulator import (DEFAULT_BATCH, host_bandwidth_usage,
-                                  simulate)
+                                  iteration_timeline, simulate)
 from repro.core.system import CollectiveModel, SystemConfig, VmemModel
 from repro.core.timeline import (EngineKind, Op, OpList, ScheduledOp,
                                  TimelineResult, run_timeline)
 
 __all__ = [
     "CollectiveModel", "DEFAULT_BATCH", "DESIGN_ORDER", "EngineKind",
-    "IterationPlan", "LatencyBreakdown", "Op", "OpList", "ScheduledOp",
-    "SimulationResult", "SystemConfig", "TimelineResult",
+    "IterationPlan", "LatencyBreakdown", "Op", "OpList", "PipelineStats",
+    "ScheduledOp", "SimulationResult", "SystemConfig", "TimelineResult",
     "VmemModel", "all_design_points", "build_iteration_ops", "dc_dla",
     "dc_dla_oracle", "design_point", "hc_dla", "host_bandwidth_usage",
-    "mc_dla_bw", "mc_dla_local", "mc_dla_star", "plan_iteration",
-    "run_timeline", "simulate", "single_device", "single_device_oracle",
+    "iteration_timeline", "mc_dla_bw", "mc_dla_local", "mc_dla_star",
+    "plan_iteration", "run_timeline", "simulate", "single_device",
+    "single_device_oracle",
 ]

@@ -53,6 +53,83 @@ class LatencyBreakdown:
 
 
 @dataclass(frozen=True)
+class PipelineStats:
+    """Per-stage accounting of one pipeline-parallel iteration.
+
+    ``stage_bubble`` is each stage's compute-engine idle time over the
+    iteration makespan -- fill/drain waits plus any stall the memory
+    system injects (exposed activation prefetches).  All parallel
+    tuples are indexed by stage.
+    """
+
+    schedule: str
+    n_stages: int
+    n_microbatches: int
+    microbatch: int
+    #: Data-parallel replicas of the whole pipeline (1 = none).
+    replicas: int
+    stage_compute: tuple[float, ...]
+    stage_bubble: tuple[float, ...]
+    #: Bytes each stage offloads to the backing store per iteration.
+    stage_offload_bytes: tuple[int, ...]
+    #: Peak microbatches in flight per stage (the activation stash
+    #: depth: M under fill-drain, at most P-s under 1F1B).
+    stage_max_in_flight: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        counts = {len(self.stage_compute), len(self.stage_bubble),
+                  len(self.stage_offload_bytes),
+                  len(self.stage_max_in_flight)}
+        if counts != {self.n_stages}:
+            raise ValueError("per-stage tuples must match n_stages")
+        if min(self.stage_bubble) < -1e-9:
+            raise ValueError("negative bubble time")
+
+    @property
+    def bubble_time(self) -> float:
+        """Total compute-idle time summed over stages."""
+        return sum(self.stage_bubble)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Idle share of all stage-compute timelines.
+
+        Each stage contributes ``makespan`` of wall-clock, so the
+        denominator ``sum(bubble) + sum(compute)`` equals
+        ``n_stages * makespan`` without storing the makespan.
+        """
+        total = self.bubble_time + sum(self.stage_compute)
+        return self.bubble_time / total if total > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schedule": self.schedule,
+            "n_stages": self.n_stages,
+            "n_microbatches": self.n_microbatches,
+            "microbatch": self.microbatch,
+            "replicas": self.replicas,
+            "stage_compute": list(self.stage_compute),
+            "stage_bubble": list(self.stage_bubble),
+            "stage_offload_bytes": list(self.stage_offload_bytes),
+            "stage_max_in_flight": list(self.stage_max_in_flight),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PipelineStats":
+        return cls(
+            schedule=data["schedule"],
+            n_stages=data["n_stages"],
+            n_microbatches=data["n_microbatches"],
+            microbatch=data["microbatch"],
+            replicas=data["replicas"],
+            stage_compute=tuple(data["stage_compute"]),
+            stage_bubble=tuple(data["stage_bubble"]),
+            stage_offload_bytes=tuple(data["stage_offload_bytes"]),
+            stage_max_in_flight=tuple(data["stage_max_in_flight"]),
+        )
+
+
+@dataclass(frozen=True)
 class SimulationResult:
     """One (design point, network, batch, strategy) simulation."""
 
@@ -71,6 +148,9 @@ class SimulationResult:
     #: Whether the whole training footprint fits in device memory
     #: without virtualization.
     fits_in_device_memory: bool
+    #: Per-stage pipeline accounting (``ParallelStrategy.PIPELINE``
+    #: only; ``None`` for data/model-parallel runs).
+    pipeline: PipelineStats | None = None
 
     def __post_init__(self) -> None:
         if self.iteration_time <= 0:
@@ -113,11 +193,14 @@ class SimulationResult:
             "host_traffic_bytes_per_device":
                 self.host_traffic_bytes_per_device,
             "fits_in_device_memory": self.fits_in_device_memory,
+            "pipeline": (self.pipeline.to_dict()
+                         if self.pipeline is not None else None),
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SimulationResult":
         """Rebuild a result from :meth:`to_dict` output (exact)."""
+        pipeline = data.get("pipeline")
         return cls(
             system=data["system"],
             network=data["network"],
@@ -131,4 +214,6 @@ class SimulationResult:
             host_traffic_bytes_per_device=data[
                 "host_traffic_bytes_per_device"],
             fits_in_device_memory=data["fits_in_device_memory"],
+            pipeline=(PipelineStats.from_dict(pipeline)
+                      if pipeline is not None else None),
         )

@@ -12,7 +12,8 @@ from __future__ import annotations
 from repro.core.metrics import LatencyBreakdown, SimulationResult
 from repro.core.schedule import build_iteration_ops, plan_iteration
 from repro.core.system import SystemConfig
-from repro.core.timeline import EngineKind, run_timeline
+from repro.core.timeline import (EngineKind, TimelineResult,
+                                 run_timeline)
 from repro.dnn.graph import Network
 from repro.dnn.registry import build_network
 from repro.host.cpu import CpuBandwidthUsage, socket_usage
@@ -33,6 +34,8 @@ def simulate(config: SystemConfig, network: Network | str,
         -> SimulationResult:
     """Simulate one training iteration on a design point."""
     net = _resolve(network)
+    if strategy is ParallelStrategy.PIPELINE:
+        return _simulate_pipeline(config, net, batch)
     plan = plan_iteration(net, config, batch, strategy)
     ops = build_iteration_ops(plan, config)
     timeline = run_timeline(ops)
@@ -63,6 +66,60 @@ def simulate(config: SystemConfig, network: Network | str,
         host_traffic_bytes_per_device=host_traffic,
         fits_in_device_memory=footprint <= config.device.memory_capacity,
     )
+
+
+def _simulate_pipeline(config: SystemConfig, net: Network,
+                       batch: int) -> SimulationResult:
+    """Pipeline-parallel path: stages are asymmetric, so the timeline
+    spans every stage on its own engine channel."""
+    # Imported lazily: repro.pipeline depends on repro.core.
+    from repro.pipeline.lowering import (build_pipeline_ops,
+                                         pipeline_stats, plan_pipeline)
+
+    plan = plan_pipeline(net, config, batch)
+    ops = build_pipeline_ops(plan, config)
+    timeline = run_timeline(ops)
+    stats = pipeline_stats(plan, timeline)
+
+    breakdown = LatencyBreakdown(
+        compute=timeline.busy_time(EngineKind.COMPUTE),
+        sync=timeline.busy_time(EngineKind.COMM),
+        vmem=(timeline.busy_time(EngineKind.DMA_OUT)
+              + timeline.busy_time(EngineKind.DMA_IN)))
+
+    offload = plan.offload_bytes_per_device
+    host_traffic = 2 * offload if config.uses_host_memory else 0
+
+    return SimulationResult(
+        system=config.name,
+        network=net.name,
+        batch=batch,
+        strategy=ParallelStrategy.PIPELINE,
+        n_devices=config.n_devices,
+        iteration_time=timeline.makespan,
+        breakdown=breakdown,
+        offload_bytes_per_device=offload,
+        sync_bytes=plan.sync_bytes_per_iteration,
+        host_traffic_bytes_per_device=host_traffic,
+        fits_in_device_memory=(plan.max_stage_footprint_bytes
+                               <= config.device.memory_capacity),
+        pipeline=stats,
+    )
+
+
+def iteration_timeline(config: SystemConfig, network: Network | str,
+                       batch: int = DEFAULT_BATCH,
+                       strategy: ParallelStrategy =
+                       ParallelStrategy.DATA) -> TimelineResult:
+    """The scheduled engine timeline of one iteration (trace export)."""
+    net = _resolve(network)
+    if strategy is ParallelStrategy.PIPELINE:
+        from repro.pipeline.lowering import (build_pipeline_ops,
+                                             plan_pipeline)
+        plan = plan_pipeline(net, config, batch)
+        return run_timeline(build_pipeline_ops(plan, config))
+    plan = plan_iteration(net, config, batch, strategy)
+    return run_timeline(build_iteration_ops(plan, config))
 
 
 def host_bandwidth_usage(config: SystemConfig,

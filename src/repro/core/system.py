@@ -96,6 +96,16 @@ class SystemConfig:
     offload_window: int = 2
     #: Prefetch lookahead in backward steps.
     prefetch_window: int = 2
+    #: Pipeline-parallel depth (``ParallelStrategy.PIPELINE``); 0 means
+    #: one stage per device.  Devices left over after staging form
+    #: data-parallel replicas that all-reduce weight gradients at drain.
+    pipeline_stages: int = 0
+    #: Microbatches per iteration under pipeline parallelism.
+    pipeline_microbatches: int = 8
+    #: Microbatch schedule: ``"1f1b"`` or ``"gpipe"`` (a plain string so
+    #: campaign replacements stay JSON-trivial; parsed by
+    #: :mod:`repro.pipeline.schedules`).
+    pipeline_schedule: str = "1f1b"
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:
@@ -104,6 +114,10 @@ class SystemConfig:
             raise ValueError("collectives and vmem models are required")
         if self.offload_window < 1 or self.prefetch_window < 1:
             raise ValueError("windows must be >= 1")
+        if self.pipeline_stages < 0:
+            raise ValueError("pipeline_stages must be >= 0")
+        if self.pipeline_microbatches < 1:
+            raise ValueError("pipeline_microbatches must be >= 1")
 
     @property
     def virtualizes(self) -> bool:

@@ -14,6 +14,13 @@ The scheduler is a deterministic list scheduler: an op starts when its
 engine is free and all dependencies have finished.  Because the
 evaluated workloads are SPMD-symmetric across devices, one device's
 timeline (with collectives priced at full-system cost) is the node's.
+
+Pipeline-parallel training breaks that symmetry: each stage is a
+different device doing different work.  Ops therefore carry a
+``channel`` index -- channel *c* owns a private instance of each of the
+four engines (stage *c*'s device) -- and one :class:`OpList` can hold a
+whole pipeline's asymmetric timeline.  SPMD schedules simply leave
+every op on channel 0 and behave exactly as before.
 """
 
 from __future__ import annotations
@@ -39,12 +46,17 @@ class Op:
     deps: tuple[int, ...]
     tag: str
     nbytes: int = 0
+    #: Engine instance: ops on different channels run concurrently even
+    #: on the same :class:`EngineKind` (pipeline stages; 0 = SPMD).
+    channel: int = 0
 
     def __post_init__(self) -> None:
         if self.duration < 0:
             raise ValueError(f"op {self.tag}: negative duration")
         if self.nbytes < 0:
             raise ValueError(f"op {self.tag}: negative byte count")
+        if self.channel < 0:
+            raise ValueError(f"op {self.tag}: negative channel")
         if any(d >= self.uid for d in self.deps):
             raise ValueError(
                 f"op {self.tag}: dependency on a later op (cycle)")
@@ -57,10 +69,11 @@ class OpList:
     ops: list[Op] = field(default_factory=list)
 
     def add(self, engine: EngineKind, duration: float, deps: list[int],
-            tag: str, nbytes: int = 0) -> int:
+            tag: str, nbytes: int = 0, channel: int = 0) -> int:
         uid = len(self.ops)
         self.ops.append(Op(uid=uid, engine=engine, duration=duration,
-                           deps=tuple(deps), tag=tag, nbytes=nbytes))
+                           deps=tuple(deps), tag=tag, nbytes=nbytes,
+                           channel=channel))
         return uid
 
     def __len__(self) -> int:
@@ -76,38 +89,66 @@ class ScheduledOp:
 
 @dataclass(frozen=True)
 class TimelineResult:
-    """Outcome of scheduling one iteration's ops."""
+    """Outcome of scheduling one iteration's ops.
+
+    ``busy`` aggregates across channels (the historical SPMD view);
+    ``busy_per_channel`` keeps the per-stage split pipeline metrics
+    need.
+    """
 
     scheduled: tuple[ScheduledOp, ...]
     makespan: float
     busy: dict[EngineKind, float]
+    busy_per_channel: dict[tuple[EngineKind, int], float] \
+        = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.busy_per_channel is None:
+            object.__setattr__(
+                self, "busy_per_channel",
+                {(engine, 0): time for engine, time in self.busy.items()})
 
     def finish_of(self, uid: int) -> float:
         return self.scheduled[uid].finish
 
-    def ops_on(self, engine: EngineKind) -> list[ScheduledOp]:
-        return [s for s in self.scheduled if s.op.engine is engine]
+    def ops_on(self, engine: EngineKind,
+               channel: int | None = None) -> list[ScheduledOp]:
+        return [s for s in self.scheduled if s.op.engine is engine
+                and (channel is None or s.op.channel == channel)]
 
-    def busy_time(self, engine: EngineKind) -> float:
-        return self.busy.get(engine, 0.0)
+    def busy_time(self, engine: EngineKind,
+                  channel: int | None = None) -> float:
+        if channel is None:
+            return self.busy.get(engine, 0.0)
+        return self.busy_per_channel.get((engine, channel), 0.0)
+
+    @property
+    def channels(self) -> tuple[int, ...]:
+        """Channel indices present, ascending (SPMD timelines: (0,))."""
+        return tuple(sorted({s.op.channel for s in self.scheduled})) \
+            or (0,)
 
 
 def run_timeline(ops: OpList) -> TimelineResult:
     """List-schedule ``ops``; engines serialize, deps must finish first."""
-    engine_free: dict[EngineKind, float] = {e: 0.0 for e in EngineKind}
+    engine_free: dict[tuple[EngineKind, int], float] = {}
     busy: dict[EngineKind, float] = {e: 0.0 for e in EngineKind}
+    busy_per_channel: dict[tuple[EngineKind, int], float] = {}
     finish: list[float] = []
     scheduled: list[ScheduledOp] = []
 
     for op in ops.ops:
+        slot = (op.engine, op.channel)
         ready = max((finish[d] for d in op.deps), default=0.0)
-        start = max(engine_free[op.engine], ready)
+        start = max(engine_free.get(slot, 0.0), ready)
         end = start + op.duration
-        engine_free[op.engine] = end
+        engine_free[slot] = end
         busy[op.engine] += op.duration
+        busy_per_channel[slot] = busy_per_channel.get(slot, 0.0) \
+            + op.duration
         finish.append(end)
         scheduled.append(ScheduledOp(op=op, start=start, finish=end))
 
     makespan = max(finish, default=0.0)
     return TimelineResult(scheduled=tuple(scheduled), makespan=makespan,
-                          busy=busy)
+                          busy=busy, busy_per_channel=busy_per_channel)

@@ -2,13 +2,20 @@
 
 Turns a scheduled iteration into inspectable artifacts:
 
-* :func:`to_records` -- plain dicts (op, engine, start, finish, bytes),
-  convenient for numpy/pandas-style analysis;
+* :func:`to_records` -- plain dicts (op, engine, channel, start,
+  finish, bytes), convenient for numpy/pandas-style analysis;
 * :func:`to_chrome_trace` -- the Chrome/Perfetto ``trace_event`` JSON
-  format (open in ``chrome://tracing`` or https://ui.perfetto.dev) with
-  one row per engine;
+  format (open in ``chrome://tracing`` or https://ui.perfetto.dev)
+  with one row per engine -- per stage, for multi-channel pipeline
+  timelines -- and optional bubble slices marking compute idle gaps;
 * :func:`engine_utilization` -- busy fraction per engine over the
   iteration, the quickest way to see which resource bounds a design.
+
+Slice categories come from an explicit tag-prefix registry
+(:data:`TAG_CATEGORIES`); unknown prefixes fall back to ``"other"``
+rather than being silently filed under a wrong category, and
+:func:`tag_category` can be asked to ``strict``-fail instead so tests
+catch unregistered tags.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ import json
 
 from repro.core.timeline import EngineKind, TimelineResult
 
-#: Stable row ordering for trace viewers.
+#: Stable row ordering for trace viewers (within one channel).
 _ENGINE_ROWS = {
     EngineKind.COMPUTE: 0,
     EngineKind.COMM: 1,
@@ -25,11 +32,44 @@ _ENGINE_ROWS = {
     EngineKind.DMA_IN: 3,
 }
 
-_CATEGORY_OF_PREFIX = {
+#: Tag prefix (before the first ``:``) -> trace category.  The
+#: ``send-act``/``send-grad``/``bubble`` entries cover the
+#: pipeline-parallel lowering's tags.
+TAG_CATEGORIES: dict[str, str] = {
     "fwd": "compute", "bwd": "compute", "recompute": "compute",
     "offload": "migration", "prefetch": "migration",
     "sync-fwd": "collective", "sync-bwd": "collective",
+    "sync-dw": "collective",
+    "send-act": "pipeline", "send-grad": "pipeline",
+    "bubble": "bubble",
 }
+
+
+def register_tag_category(prefix: str, category: str) -> None:
+    """Register a tag prefix so custom schedules categorize cleanly."""
+    if not prefix or ":" in prefix:
+        raise ValueError(f"bad tag prefix {prefix!r}")
+    if not category:
+        raise ValueError("category must be non-empty")
+    TAG_CATEGORIES[prefix] = category
+
+
+def tag_category(tag: str, strict: bool = False) -> str:
+    """The category of one op tag; unknown prefixes are ``"other"``.
+
+    With ``strict=True`` an unregistered prefix raises instead, so
+    schedule authors notice missing :func:`register_tag_category`
+    calls rather than shipping miscategorized traces.
+    """
+    prefix = tag.split(":", 1)[0]
+    category = TAG_CATEGORIES.get(prefix)
+    if category is None:
+        if strict:
+            raise KeyError(
+                f"op tag {tag!r} has no registered category; call "
+                f"register_tag_category({prefix!r}, ...)")
+        return "other"
+    return category
 
 
 def to_records(result: TimelineResult) -> list[dict]:
@@ -39,6 +79,7 @@ def to_records(result: TimelineResult) -> list[dict]:
             "uid": s.op.uid,
             "tag": s.op.tag,
             "engine": s.op.engine.value,
+            "channel": s.op.channel,
             "start": s.start,
             "finish": s.finish,
             "duration": s.op.duration,
@@ -50,23 +91,62 @@ def to_records(result: TimelineResult) -> list[dict]:
     return records
 
 
-def _category(tag: str) -> str:
-    prefix = tag.split(":", 1)[0]
-    return _CATEGORY_OF_PREFIX.get(prefix, "other")
+def _row_name(engine: EngineKind, channel: int,
+              multi_channel: bool) -> str:
+    if multi_channel:
+        return f"stage{channel}/{engine.value}"
+    return engine.value
 
 
-def to_chrome_trace(result: TimelineResult, pid: int = 1) -> str:
-    """Serialize the timeline as Chrome ``trace_event`` JSON."""
+def _bubble_events(result: TimelineResult, pid: int,
+                   tid_of) -> list[dict]:
+    """Compute-idle slices per channel, between first and last op."""
+    events = []
+    for channel in result.channels:
+        compute = sorted(result.ops_on(EngineKind.COMPUTE, channel),
+                         key=lambda s: s.start)
+        for before, after in zip(compute, compute[1:]):
+            gap = after.start - before.finish
+            if gap > 0:
+                events.append({
+                    "name": f"bubble:s{channel}",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid_of(EngineKind.COMPUTE, channel),
+                    "ts": before.finish * 1e6,
+                    "dur": gap * 1e6,
+                    "cat": tag_category("bubble"),
+                    "args": {"bytes": 0},
+                })
+    return events
+
+
+def to_chrome_trace(result: TimelineResult, pid: int = 1,
+                    include_bubbles: bool = False) -> str:
+    """Serialize the timeline as Chrome ``trace_event`` JSON.
+
+    ``include_bubbles`` adds explicit idle slices on each compute row
+    (between its first and last op) -- the visual bubble of a pipeline
+    schedule.
+    """
+    channels = result.channels
+    multi = len(channels) > 1
+    rows = len(_ENGINE_ROWS)
+
+    def tid_of(engine: EngineKind, channel: int) -> int:
+        return channels.index(channel) * rows + _ENGINE_ROWS[engine]
+
     events = [
         {
-            "name": engine.value,
+            "name": _row_name(engine, channel, multi),
             "ph": "M",  # metadata: thread (row) names
             "pid": pid,
-            "tid": row,
+            "tid": tid_of(engine, channel),
             "cat": "__metadata",
-            "args": {"name": engine.value},
+            "args": {"name": _row_name(engine, channel, multi)},
         }
-        for engine, row in _ENGINE_ROWS.items()
+        for channel in channels
+        for engine in _ENGINE_ROWS
     ]
     for s in result.scheduled:
         if s.op.duration <= 0:
@@ -75,19 +155,26 @@ def to_chrome_trace(result: TimelineResult, pid: int = 1) -> str:
             "name": s.op.tag,
             "ph": "X",  # complete event
             "pid": pid,
-            "tid": _ENGINE_ROWS[s.op.engine],
+            "tid": tid_of(s.op.engine, s.op.channel),
             "ts": s.start * 1e6,       # microseconds
             "dur": s.op.duration * 1e6,
-            "cat": _category(s.op.tag),
+            "cat": tag_category(s.op.tag),
             "args": {"bytes": s.op.nbytes},
         })
+    if include_bubbles:
+        events.extend(_bubble_events(result, pid, tid_of))
     return json.dumps({"traceEvents": events,
                        "displayTimeUnit": "ms"})
 
 
 def engine_utilization(result: TimelineResult) -> dict[str, float]:
-    """Busy fraction of each engine over the iteration makespan."""
+    """Busy fraction of each engine over the iteration makespan.
+
+    Multi-channel (pipeline) timelines report the *fleet average*:
+    total busy time across stages over ``n_stages * makespan``.
+    """
     if result.makespan <= 0:
         return {engine.value: 0.0 for engine in EngineKind}
-    return {engine.value: result.busy_time(engine) / result.makespan
+    denominator = result.makespan * len(result.channels)
+    return {engine.value: result.busy_time(engine) / denominator
             for engine in EngineKind}

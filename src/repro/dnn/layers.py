@@ -25,7 +25,7 @@ from repro.units import FP32_BYTES
 
 
 class LayerKind(enum.Enum):
-    """Taxonomy of layer types used across the eight benchmarks."""
+    """Taxonomy of layer types used across the benchmark families."""
 
     INPUT = "input"
     CONV = "conv"
@@ -41,6 +41,11 @@ class LayerKind(enum.Enum):
     RNN_CELL = "rnn_cell"
     LSTM_CELL = "lstm_cell"
     GRU_CELL = "gru_cell"
+    # -- Transformer family ------------------------------------------
+    EMBEDDING = "embedding"
+    ATTENTION = "attention"
+    LAYERNORM = "layernorm"
+    GELU = "gelu"
 
 
 #: Layers whose forward pass is so cheap that the runtime memory manager
@@ -56,6 +61,8 @@ CHEAP_KINDS = frozenset({
     LayerKind.ELTWISE,
     LayerKind.SOFTMAX,
     LayerKind.DROPOUT,
+    LayerKind.LAYERNORM,
+    LayerKind.GELU,
 })
 
 #: Layers that hold trainable weights.
@@ -66,6 +73,8 @@ WEIGHTED_KINDS = frozenset({
     LayerKind.RNN_CELL,
     LayerKind.LSTM_CELL,
     LayerKind.GRU_CELL,
+    LayerKind.EMBEDDING,
+    LayerKind.LAYERNORM,
 })
 
 #: Recurrent cell kinds (share weights across timesteps).

@@ -83,3 +83,28 @@ def fc_gemm(out_features: int, in_features: int) -> Gemm:
 def rnn_gemm(gate_features: int, in_features: int) -> Gemm:
     """Lower one recurrent-cell matrix product: one row per sample."""
     return Gemm(m=1, n=gate_features, k=in_features, m_per_sample=True)
+
+
+def token_fc_gemm(seq: int, out_features: int, in_features: int) -> Gemm:
+    """Lower a position-wise (token-level) projection of a transformer.
+
+    Unlike :func:`fc_gemm`, every token of the sequence contributes one
+    output row, so M scales with ``seq * batch``.
+    """
+    return Gemm(m=seq, n=out_features, k=in_features, m_per_sample=True)
+
+
+def attention_gemms(seq: int, heads: int, head_dim: int) -> tuple[Gemm,
+                                                                  Gemm]:
+    """Lower multi-head self-attention's two batched GEMMs.
+
+    Per head and sample: the *score* GEMM ``Q.Kt`` ([seq x d] @
+    [d x seq]) and the *context* GEMM ``P.V`` ([seq x seq] @ [seq x d]).
+    Heads batch along M (``m = seq * heads`` rows per sample), so both
+    MAC counts scale as ``batch * heads * seq^2 * head_dim`` -- the
+    quadratic-in-sequence term that distinguishes attention from the
+    projection GEMMs.
+    """
+    score = Gemm(m=seq * heads, n=seq, k=head_dim, m_per_sample=True)
+    context = Gemm(m=seq * heads, n=head_dim, k=seq, m_per_sample=True)
+    return score, context

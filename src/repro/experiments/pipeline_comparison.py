@@ -1,0 +1,125 @@
+"""Pipeline-parallel comparison study (post-paper extension).
+
+For the transformer workload family, compares every design point under
+four parallelization variants -- data-parallel, model-parallel, and
+pipeline-parallel with the GPipe fill-drain and 1F1B schedules --
+reporting iteration time, pipeline bubble fraction, and per-device
+virtualization traffic.  The headline: fill-drain's ``M``-deep
+activation stash pays a migration round-trip that 1F1B mostly avoids,
+and the gap between the two schedules *shrinks* as the memory system
+gets closer to the devices -- the paper's memory-centric argument,
+replayed on workloads from the transformer era.
+
+Runs entirely through the campaign engine, so cells fan out across
+worker processes and replay from the shared disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign import ResultCache, grid, pipeline_grid, run_campaign
+from repro.core.design_points import DESIGN_ORDER
+from repro.core.metrics import SimulationResult
+from repro.dnn.registry import TRANSFORMER_NAMES
+from repro.experiments.report import format_table, percent
+from repro.training.parallel import ParallelStrategy
+
+#: Presentation order of the strategy variants.
+VARIANTS = ("data", "model", "pipeline/gpipe", "pipeline/1f1b")
+
+DEFAULT_BATCH = 512
+DEFAULT_MICROBATCHES = 8
+
+
+@dataclass(frozen=True)
+class PipelineComparison:
+    """All (network, design, variant) cells of the study."""
+
+    batch: int
+    microbatches: int
+    #: (network, design, variant) -> result.
+    results: dict[tuple[str, str, str], SimulationResult]
+
+    def result(self, network: str, design: str,
+               variant: str) -> SimulationResult:
+        return self.results[(network, design, variant)]
+
+    def schedule_gap(self, network: str, design: str) -> float:
+        """GPipe's bubble-time excess over 1F1B (seconds, per stage
+        aggregate) -- the cost of the fill-drain activation stash."""
+        gpipe = self.result(network, design, "pipeline/gpipe")
+        one_f = self.result(network, design, "pipeline/1f1b")
+        return gpipe.pipeline.bubble_time - one_f.pipeline.bubble_time
+
+    def best_variant(self, network: str, design: str) -> str:
+        """The variant with the highest throughput on a cell."""
+        return min(VARIANTS, key=lambda v: self.result(
+            network, design, v).iteration_time)
+
+
+def comparison_points(batch: int = DEFAULT_BATCH,
+                      microbatches: int = DEFAULT_MICROBATCHES):
+    """The study's campaign cells (data/model plus both schedules)."""
+    flat = grid(DESIGN_ORDER, TRANSFORMER_NAMES, (batch,),
+                (ParallelStrategy.DATA, ParallelStrategy.MODEL))
+    piped = pipeline_grid(DESIGN_ORDER, TRANSFORMER_NAMES, (batch,),
+                          schedules=("gpipe", "1f1b"),
+                          microbatches=microbatches)
+    return flat + piped
+
+
+def run_pipeline_comparison(
+        batch: int = DEFAULT_BATCH,
+        microbatches: int = DEFAULT_MICROBATCHES,
+        jobs: int = 1,
+        cache: ResultCache | None = None) -> PipelineComparison:
+    """Run the study through the campaign engine."""
+    if cache is None:
+        cache = ResultCache.from_env()
+    report = run_campaign(comparison_points(batch, microbatches),
+                          jobs=jobs, cache=cache).raise_failures()
+
+    results: dict[tuple[str, str, str], SimulationResult] = {}
+    for outcome in report.outcomes:
+        point = outcome.point
+        if point.strategy is ParallelStrategy.DATA:
+            variant = "data"
+        elif point.strategy is ParallelStrategy.MODEL:
+            variant = "model"
+        else:
+            variant = "pipeline/" + point.name.split("|", 1)[1]
+        results[(point.network, point.design, variant)] = outcome.result
+    return PipelineComparison(batch=batch, microbatches=microbatches,
+                              results=results)
+
+
+def format_pipeline_comparison(study: PipelineComparison) -> str:
+    """Render one table per transformer workload."""
+    blocks = []
+    for network in TRANSFORMER_NAMES:
+        rows = []
+        for design in DESIGN_ORDER:
+            for variant in VARIANTS:
+                result = study.result(network, design, variant)
+                bubble = (percent(result.pipeline.bubble_fraction)
+                          if result.pipeline is not None else "--")
+                rows.append([
+                    design, variant,
+                    result.iteration_time * 1e3,
+                    result.throughput,
+                    bubble,
+                    result.round_trip_bytes_per_device / 1e9,
+                ])
+        table = format_table(
+            ["design", "strategy", "iter (ms)", "samples/s", "bubble",
+             "vmem GB/dev"],
+            rows,
+            title=(f"{network} @ batch {study.batch} "
+                   f"({study.microbatches} microbatches)"))
+        gaps = ", ".join(
+            f"{design}: {study.schedule_gap(network, design) * 1e3:.1f}ms"
+            for design in DESIGN_ORDER)
+        blocks.append(f"{table}\n1F1B bubble savings over fill-drain "
+                      f"({network}): {gaps}")
+    return "\n\n".join(blocks)

@@ -1,0 +1,36 @@
+"""Pipeline-parallel training: stage partitioning, microbatch
+schedules, and their lowering onto the engine-level timeline.
+
+Quickstart::
+
+    from repro import simulate, design_point, ParallelStrategy
+
+    result = simulate(design_point("MC-DLA(B)"), "GPT2", batch=64,
+                      strategy=ParallelStrategy.PIPELINE)
+    print(result.pipeline.bubble_fraction)
+
+The schedule (``"1f1b"`` or ``"gpipe"``), pipeline depth, and
+microbatch count are :class:`~repro.core.system.SystemConfig` fields
+(``pipeline_schedule`` / ``pipeline_stages`` /
+``pipeline_microbatches``), so campaigns sweep them through ordinary
+``replacements``.
+"""
+
+from repro.pipeline.lowering import (PipelinePlan, StageWork,
+                                     build_pipeline_ops, pipeline_stats,
+                                     plan_pipeline, resolve_stage_count)
+from repro.pipeline.partition import (PipelineStage, crossing_sends,
+                                      partition_stages, stage_of_layer,
+                                      stageable_layer_count)
+from repro.pipeline.schedules import (PipelineSchedule, ScheduleKind,
+                                      Slot, StageProgram, build_schedule,
+                                      structural_bubble_time)
+
+__all__ = [
+    "PipelinePlan", "PipelineSchedule", "PipelineStage", "ScheduleKind",
+    "Slot", "StageProgram", "StageWork", "build_pipeline_ops",
+    "build_schedule", "crossing_sends", "partition_stages",
+    "pipeline_stats", "plan_pipeline", "resolve_stage_count",
+    "stage_of_layer", "stageable_layer_count",
+    "structural_bubble_time",
+]

@@ -1,0 +1,360 @@
+"""Lower a microbatch schedule onto the engine-level timeline.
+
+Each pipeline stage is a device running the familiar four engines, so
+stage *s* owns timeline channel *s* (:mod:`repro.core.timeline`):
+
+* forward/backward microbatch work on ``COMPUTE``;
+* boundary activations (and their gradients) as point-to-point ``COMM``
+  ops on the *sending* stage's channel, priced over half the device's
+  links (the half facing one neighbor in the ring topologies);
+* per-microbatch activation-stash offload/prefetch on the DMA engines,
+  with the vDNN back-pressure and prefetch-lookahead windows of the
+  non-pipelined scheduler;
+* the weight-gradient all-reduce at drain, when leftover devices form
+  data-parallel replicas of the pipeline.
+
+A microbatch's stash is offloaded only when the schedule keeps it
+alive for more than ``offload_window`` slots -- the pinned-buffer
+budget covers shorter lifetimes.  This is where fill-drain and 1F1B
+diverge: fill-drain stashes every microbatch for ~``M`` slots and pays
+the round-trip, 1F1B retires stage ``s``'s stash within ``P - s``
+slots and mostly stays resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.ring_algorithm import Primitive
+from repro.core.metrics import PipelineStats
+from repro.core.system import SystemConfig
+from repro.core.timeline import EngineKind, OpList, TimelineResult
+from repro.dnn.graph import Network
+from repro.dnn.layers import LayerKind
+from repro.pipeline.partition import (PipelineStage, crossing_sends,
+                                      partition_stages,
+                                      stageable_layer_count)
+from repro.pipeline.schedules import (PipelineSchedule, ScheduleKind,
+                                      build_schedule)
+
+
+@dataclass(frozen=True)
+class StageWork:
+    """One stage's per-microbatch work, fully timed."""
+
+    index: int
+    layer_names: tuple[str, ...]
+    fwd_time: float
+    bwd_time: float
+    #: Unique trainable bytes held by this stage (shared groups once).
+    weight_bytes: int
+    #: Offloadable activation bytes one microbatch stashes here.
+    stash_bytes: int
+    #: Outgoing boundary traffic, aggregated per consumer stage:
+    #: (consumer stage, total bytes per microbatch).  Multiple
+    #: crossing edges to one stage (residual + block output) bundle
+    #: into a single transfer.
+    sends: tuple[tuple[int, int], ...]
+    #: Per-microbatch offload decision (schedule lifetime > window).
+    offloaded: tuple[bool, ...]
+    #: Peak microbatches in flight under the schedule.
+    max_in_flight: int
+
+    @property
+    def offload_bytes(self) -> int:
+        """Bytes this stage offloads per iteration (one way)."""
+        return self.stash_bytes * sum(self.offloaded)
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """Everything needed to emit (and introspect) a pipeline iteration."""
+
+    network: str
+    batch: int
+    microbatch: int
+    schedule: PipelineSchedule
+    stages: tuple[StageWork, ...]
+    #: Data-parallel replicas of the whole pipeline (n_devices // P).
+    replicas: int
+
+    @property
+    def n_stages(self) -> int:
+        return self.schedule.n_stages
+
+    @property
+    def stage_offload_bytes(self) -> tuple[int, ...]:
+        return tuple(stage.offload_bytes for stage in self.stages)
+
+    @property
+    def offload_bytes_per_device(self) -> int:
+        """The bottleneck (worst-stage) device's offload bytes."""
+        return max(self.stage_offload_bytes)
+
+    @property
+    def sync_bytes_per_iteration(self) -> int:
+        """Activation/gradient p2p plus the drain all-reduce bytes."""
+        total = 0
+        for stage in self.stages:
+            for _, nbytes in stage.sends:
+                total += 2 * nbytes * self.schedule.n_microbatches
+            if self.replicas > 1:
+                total += stage.weight_bytes
+        return total
+
+    @property
+    def max_stage_footprint_bytes(self) -> int:
+        """Worst stage's resident need: weights + grads + peak stash."""
+        return max(2 * stage.weight_bytes
+                   + stage.stash_bytes * stage.max_in_flight
+                   for stage in self.stages)
+
+
+def _p2p_time(config: SystemConfig, nbytes: int) -> float:
+    """One neighbor-to-neighbor transfer: half the device's links."""
+    bandwidth = config.device.aggregate_link_bw / 2
+    return config.device.link.latency + nbytes / bandwidth
+
+
+def _stage_weight_bytes(net: Network, stage: PipelineStage) -> int:
+    seen: set[str] = set()
+    total = 0
+    for name in stage.layer_names:
+        layer = net.layer(name)
+        if not layer.weight_elems:
+            continue
+        if layer.weight_group:
+            if layer.weight_group in seen:
+                continue
+            seen.add(layer.weight_group)
+        total += layer.weight_bytes
+    return total
+
+
+def _stage_times(net: Network, stage: PipelineStage,
+                 config: SystemConfig, microbatch: int) \
+        -> tuple[float, float]:
+    """(fwd, bwd) compute time of one stage for one microbatch."""
+    device = config.device
+    fwd = bwd = 0.0
+    for name in stage.layer_names:
+        layer = net.layer(name)
+        if layer.kind is LayerKind.INPUT:
+            continue
+        fwd += device.layer_fwd_time(layer, microbatch)
+        bwd += device.layer_bwd_time(layer, microbatch)
+        # Cheap layers are recomputed during backward instead of
+        # migrated (footnote 4), per microbatch.
+        if layer.is_cheap and config.virtualizes:
+            bwd += device.layer_fwd_time(layer, microbatch)
+    return fwd, bwd
+
+
+def _stage_stash_bytes(net: Network, stage: PipelineStage,
+                       microbatch: int) -> int:
+    """Offloadable (non-cheap, non-input) activation bytes per mb."""
+    return sum(net.layer(name).out_bytes(microbatch)
+               for name in stage.layer_names
+               if not net.layer(name).is_cheap
+               and net.layer(name).kind is not LayerKind.INPUT)
+
+
+def resolve_stage_count(net: Network, config: SystemConfig) -> int:
+    """The pipeline depth a config implies for a network."""
+    requested = config.pipeline_stages or config.n_devices
+    return max(1, min(requested, stageable_layer_count(net)))
+
+
+def plan_pipeline(net: Network, config: SystemConfig,
+                  batch: int) -> PipelinePlan:
+    """Partition, schedule, and time one pipeline-parallel iteration."""
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    n_stages = resolve_stage_count(net, config)
+    n_microbatches = config.pipeline_microbatches
+    if batch % n_microbatches:
+        # Simulating a padded batch would silently skew throughput
+        # against the data/model-parallel cells at the same batch.
+        raise ValueError(
+            f"batch {batch} is not divisible by "
+            f"pipeline_microbatches={n_microbatches}")
+    microbatch = batch // n_microbatches
+    kind = ScheduleKind(config.pipeline_schedule)
+    schedule = build_schedule(kind, n_stages, n_microbatches)
+
+    stages = partition_stages(net, n_stages)
+    sends = crossing_sends(net, stages)
+
+    works = []
+    for stage in stages:
+        program = schedule.program(stage.index)
+        fwd, bwd = _stage_times(net, stage, config, microbatch)
+        stash = _stage_stash_bytes(net, stage, microbatch)
+        offloaded = tuple(
+            config.virtualizes and stash > 0
+            and program.stash_slots(m) > config.offload_window
+            for m in range(n_microbatches))
+        bytes_to: dict[int, int] = {}
+        for producer, to in sends[stage.index]:
+            bytes_to[to] = bytes_to.get(to, 0) \
+                + net.layer(producer).out_bytes(microbatch)
+        works.append(StageWork(
+            index=stage.index, layer_names=stage.layer_names,
+            fwd_time=fwd, bwd_time=bwd,
+            weight_bytes=_stage_weight_bytes(net, stage),
+            stash_bytes=stash,
+            sends=tuple(sorted(bytes_to.items())),
+            offloaded=offloaded,
+            max_in_flight=program.max_in_flight))
+
+    return PipelinePlan(
+        network=net.name, batch=batch, microbatch=microbatch,
+        schedule=schedule, stages=tuple(works),
+        replicas=max(1, config.n_devices // n_stages))
+
+
+def build_pipeline_ops(plan: PipelinePlan,
+                       config: SystemConfig) -> OpList:
+    """Emit the pipeline's ops; stage *s* runs on timeline channel *s*.
+
+    Emission walks every stage's program in slot order, interleaving
+    stages as cross-stage dependencies allow, so per-channel issue
+    order equals program order (engines execute in issue order).
+    """
+    ops = OpList()
+    schedule = plan.schedule
+    n_stages = schedule.n_stages
+
+    targets = {s.index: tuple(to for to, _ in s.sends)
+               for s in plan.stages}
+    sources: dict[int, list[int]] = {s.index: [] for s in plan.stages}
+    for stage in plan.stages:
+        for to, _ in stage.sends:
+            if stage.index not in sources[to]:
+                sources[to].append(stage.index)
+
+    fwd_uid: dict[tuple[int, int], int] = {}
+    act_send: dict[tuple[int, int, int], int] = {}
+    grad_send: dict[tuple[int, int, int], int] = {}
+    offload_uid: dict[tuple[int, int], int] = {}
+    offload_order: list[list[int]] = [[] for _ in range(n_stages)]
+    bwd_uids: list[list[int]] = [[] for _ in range(n_stages)]
+
+    def emit_forward(stage: StageWork, m: int) -> None:
+        s = stage.index
+        deps = [act_send[(p, s, m)] for p in sources[s]]
+        # vDNN pinned-buffer back-pressure, per stage.
+        if len(offload_order[s]) >= config.offload_window:
+            deps.append(offload_order[s][-config.offload_window])
+        uid = ops.add(EngineKind.COMPUTE, stage.fwd_time, deps,
+                      tag=f"fwd:s{s}:m{m}", channel=s)
+        fwd_uid[(s, m)] = uid
+        for to, nbytes in stage.sends:
+            act_send[(s, to, m)] = ops.add(
+                EngineKind.COMM, _p2p_time(config, nbytes), [uid],
+                tag=f"send-act:s{s}>s{to}:m{m}", nbytes=nbytes,
+                channel=s)
+        if stage.offloaded[m]:
+            uid_off = ops.add(
+                EngineKind.DMA_OUT,
+                config.vmem.transfer_time(stage.stash_bytes), [uid],
+                tag=f"offload:s{s}:m{m}", nbytes=stage.stash_bytes,
+                channel=s)
+            offload_uid[(s, m)] = uid_off
+            offload_order[s].append(uid_off)
+
+    def emit_backward(stage: StageWork, m: int) -> None:
+        s = stage.index
+        if targets[s]:
+            deps = [grad_send[(t, s, m)] for t in targets[s]]
+        else:
+            # The loss-side stage turns around on its own forward.
+            deps = [fwd_uid[(s, m)]]
+        if stage.offloaded[m]:
+            # Bounded prefetch lookahead relative to backward progress.
+            step = len(bwd_uids[s])
+            gate = ([bwd_uids[s][step - config.prefetch_window]]
+                    if step >= config.prefetch_window else [])
+            deps.append(ops.add(
+                EngineKind.DMA_IN,
+                config.vmem.transfer_time(stage.stash_bytes),
+                gate + [offload_uid[(s, m)]],
+                tag=f"prefetch:s{s}:m{m}", nbytes=stage.stash_bytes,
+                channel=s))
+        uid = ops.add(EngineKind.COMPUTE, stage.bwd_time, deps,
+                      tag=f"bwd:s{s}:m{m}", channel=s)
+        bwd_uids[s].append(uid)
+        for p in sources[s]:
+            nbytes = next(b for to, b in plan.stages[p].sends
+                          if to == s)
+            grad_send[(s, p, m)] = ops.add(
+                EngineKind.COMM, _p2p_time(config, nbytes), [uid],
+                tag=f"send-grad:s{s}>s{p}:m{m}", nbytes=nbytes,
+                channel=s)
+
+    def ready(stage: StageWork, m: int, is_forward: bool) -> bool:
+        s = stage.index
+        if is_forward:
+            return all((p, s, m) in act_send for p in sources[s])
+        if targets[s]:
+            return all((t, s, m) in grad_send for t in targets[s])
+        return (s, m) in fwd_uid
+
+    cursors = [0] * n_stages
+    total_slots = sum(len(p.slots) for p in schedule.programs)
+    emitted = 0
+    progress = True
+    while progress:
+        progress = False
+        for stage in plan.stages:
+            program = schedule.program(stage.index)
+            while cursors[stage.index] < len(program.slots):
+                slot = program.slots[cursors[stage.index]]
+                if not ready(stage, slot.microbatch, slot.is_forward):
+                    break
+                if slot.is_forward:
+                    emit_forward(stage, slot.microbatch)
+                else:
+                    emit_backward(stage, slot.microbatch)
+                cursors[stage.index] += 1
+                emitted += 1
+                progress = True
+    if emitted != total_slots:
+        raise RuntimeError(
+            f"pipeline schedule deadlocked after {emitted}/"
+            f"{total_slots} slots (inconsistent stage programs)")
+
+    # Weight-gradient all-reduce across pipeline replicas at drain.
+    if plan.replicas > 1:
+        for stage in plan.stages:
+            if stage.weight_bytes:
+                ops.add(EngineKind.COMM,
+                        config.collectives.time(Primitive.ALL_REDUCE,
+                                                stage.weight_bytes),
+                        [bwd_uids[stage.index][-1]],
+                        tag=f"sync-dw:s{stage.index}",
+                        nbytes=stage.weight_bytes,
+                        channel=stage.index)
+    return ops
+
+
+def pipeline_stats(plan: PipelinePlan,
+                   timeline: TimelineResult) -> PipelineStats:
+    """Per-stage bubble/compute accounting of a scheduled pipeline."""
+    compute = []
+    bubble = []
+    for stage in plan.stages:
+        busy = timeline.busy_time(EngineKind.COMPUTE, stage.index)
+        compute.append(busy)
+        bubble.append(max(0.0, timeline.makespan - busy))
+    return PipelineStats(
+        schedule=plan.schedule.kind.value,
+        n_stages=plan.n_stages,
+        n_microbatches=plan.schedule.n_microbatches,
+        microbatch=plan.microbatch,
+        replicas=plan.replicas,
+        stage_compute=tuple(compute),
+        stage_bubble=tuple(bubble),
+        stage_offload_bytes=plan.stage_offload_bytes,
+        stage_max_in_flight=tuple(stage.max_in_flight
+                                  for stage in plan.stages))

@@ -1,0 +1,121 @@
+"""Stage partitioning for pipeline-parallel training.
+
+A pipeline stage is a *contiguous* slice of the network's topological
+order, so every activation crossing a stage boundary flows forward
+(DAG edges never point backward in insertion order).  Stages are
+balanced on forward-plus-backward MACs: the slowest stage paces the
+whole pipeline, so the partitioner minimizes the worst stage's
+arithmetic, with streamed elements as a tie-break for GEMM-less
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import Network
+from repro.dnn.layers import LayerKind
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One contiguous stage: a device's slice of the network."""
+
+    index: int
+    layer_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layer_names:
+            raise ValueError(f"stage {self.index} is empty")
+
+
+def _layer_cost(net: Network, name: str) -> float:
+    """Balance weight of one layer: fwd + bwd MACs (+ stream tie-break)."""
+    layer = net.layer(name)
+    macs = layer.fwd_macs(1) + layer.bwd_macs(1)
+    return float(macs) + 1e-6 * layer.stream_elems
+
+
+def stageable_layer_count(net: Network) -> int:
+    """Layers that can anchor a stage (the input pseudo-layers cannot)."""
+    return sum(1 for layer in net.layers
+               if layer.kind is not LayerKind.INPUT)
+
+
+def partition_stages(net: Network,
+                     n_stages: int) -> tuple[PipelineStage, ...]:
+    """Split ``net`` into ``n_stages`` contiguous, balanced stages.
+
+    Greedy threshold partitioning over the topological order: close a
+    stage once it reaches its proportional share of the total cost,
+    while always leaving at least one stageable (non-input) layer for
+    each remaining stage.  Input pseudo-layers are zero-cost; one that
+    precedes a stage boundary may land on either side of it, in which
+    case its (small) slice is simply sent across like any other
+    crossing activation.
+    """
+    if n_stages < 1:
+        raise ValueError("need at least one stage")
+    if n_stages > stageable_layer_count(net):
+        raise ValueError(
+            f"cannot split {net.name} ({stageable_layer_count(net)} "
+            f"stageable layers) into {n_stages} stages")
+
+    names = net.layer_names
+    costs = [_layer_cost(net, name) for name in names]
+    total = sum(costs)
+    # suffix[i]: stageable layers at positions >= i.
+    suffix = [0] * (len(names) + 1)
+    for i in range(len(names) - 1, -1, -1):
+        is_input = net.layer(names[i]).kind is LayerKind.INPUT
+        suffix[i] = suffix[i + 1] + (0 if is_input else 1)
+
+    stages: list[PipelineStage] = []
+    start = 0
+    accumulated = 0.0
+    for index in range(n_stages):
+        remaining = n_stages - index - 1
+        target = total * (index + 1) / n_stages
+        end = start
+        has_work = False
+        while end < len(names):
+            if has_work and remaining:
+                if suffix[end] == remaining:
+                    break  # just enough layers left for later stages
+                if accumulated >= target:
+                    break  # reached this stage's cost share
+            layer = net.layer(names[end])
+            if layer.kind is not LayerKind.INPUT:
+                has_work = True
+            accumulated += costs[end]
+            end += 1
+        stages.append(PipelineStage(
+            index=index, layer_names=tuple(names[start:end])))
+        start = end
+    return tuple(stages)
+
+
+def stage_of_layer(stages: tuple[PipelineStage, ...]) -> dict[str, int]:
+    """Map every layer name to its stage index."""
+    return {name: stage.index for stage in stages
+            for name in stage.layer_names}
+
+
+def crossing_sends(net: Network, stages: tuple[PipelineStage, ...]) \
+        -> dict[int, tuple[tuple[str, int], ...]]:
+    """Per-stage outgoing activation edges: stage -> ((layer, to), ...).
+
+    A producer whose feature map feeds several layers of one later
+    stage is sent to that stage once; a producer feeding several
+    *different* later stages is sent once per consuming stage
+    (peer-to-peer, no relaying).
+    """
+    owner = stage_of_layer(stages)
+    sends: dict[int, list[tuple[str, int]]] = {
+        stage.index: [] for stage in stages}
+    for name in net.layer_names:
+        targets = sorted({owner[succ] for succ in net.successors(name)
+                          if owner[succ] > owner[name]})
+        for target in targets:
+            sends[owner[name]].append((name, target))
+    return {index: tuple(edges) for index, edges in sends.items()}

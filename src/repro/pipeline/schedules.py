@@ -1,0 +1,127 @@
+"""Microbatch schedule generation: GPipe fill-drain and 1F1B.
+
+A :class:`PipelineSchedule` is pure structure -- per-stage ordered
+slots of forward/backward microbatch work, no times attached.  The two
+classic schedules share the same dependency graph (so, absent memory
+effects, the same fill/drain bubble: the well-known
+``(P-1) * (t_f + t_b)`` of both GPipe and 1F1B), but differ sharply in
+*activation lifetime*: fill-drain keeps every microbatch's stash alive
+across the whole forward phase (peak ``M`` in flight), while 1F1B caps
+stage *s* at ``P - s`` microbatches.  That lifetime gap is what the
+memory-virtualization runtime turns into a measurable bubble gap --
+long-lived stashes are offloaded and their prefetches stall backward
+compute (:mod:`repro.pipeline.lowering`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ScheduleKind(enum.Enum):
+    GPIPE = "gpipe"
+    ONE_F_ONE_B = "1f1b"
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One unit of stage work: a microbatch's forward or backward."""
+
+    microbatch: int
+    is_forward: bool
+
+
+@dataclass(frozen=True)
+class StageProgram:
+    """One stage's ordered slot sequence."""
+
+    stage: int
+    slots: tuple[Slot, ...]
+
+    def slot_index(self, microbatch: int, is_forward: bool) -> int:
+        for index, slot in enumerate(self.slots):
+            if slot.microbatch == microbatch \
+                    and slot.is_forward == is_forward:
+                return index
+        raise KeyError((self.stage, microbatch, is_forward))
+
+    def stash_slots(self, microbatch: int) -> int:
+        """Slots a microbatch's activations stay stashed: the count of
+        other work units executed between its forward and backward."""
+        return self.slot_index(microbatch, False) \
+            - self.slot_index(microbatch, True) - 1
+
+    @property
+    def max_in_flight(self) -> int:
+        """Peak live activation stashes (forwards minus backwards)."""
+        live = peak = 0
+        for slot in self.slots:
+            live += 1 if slot.is_forward else -1
+            peak = max(peak, live)
+        return peak
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """All stages' programs for one training iteration."""
+
+    kind: ScheduleKind
+    n_stages: int
+    n_microbatches: int
+    programs: tuple[StageProgram, ...]
+
+    def program(self, stage: int) -> StageProgram:
+        return self.programs[stage]
+
+
+def _gpipe_program(stage: int, n_microbatches: int) -> StageProgram:
+    """Fill-drain: every forward, then every backward (same order)."""
+    slots = [Slot(m, True) for m in range(n_microbatches)]
+    slots += [Slot(m, False) for m in range(n_microbatches)]
+    return StageProgram(stage=stage, slots=tuple(slots))
+
+
+def _one_f_one_b_program(stage: int, n_stages: int,
+                         n_microbatches: int) -> StageProgram:
+    """1F1B: warm up ``P - 1 - s`` forwards, alternate, then drain."""
+    warmup = min(n_stages - 1 - stage, n_microbatches)
+    slots = [Slot(m, True) for m in range(warmup)]
+    for m in range(n_microbatches - warmup):
+        slots.append(Slot(warmup + m, True))
+        slots.append(Slot(m, False))
+    for m in range(n_microbatches - warmup, n_microbatches):
+        slots.append(Slot(m, False))
+    return StageProgram(stage=stage, slots=tuple(slots))
+
+
+def build_schedule(kind: ScheduleKind, n_stages: int,
+                   n_microbatches: int) -> PipelineSchedule:
+    """Generate every stage's program for ``kind``."""
+    if n_stages < 1:
+        raise ValueError("need at least one stage")
+    if n_microbatches < 1:
+        raise ValueError("need at least one microbatch")
+    if kind is ScheduleKind.GPIPE:
+        programs = tuple(_gpipe_program(s, n_microbatches)
+                         for s in range(n_stages))
+    else:
+        programs = tuple(
+            _one_f_one_b_program(s, n_stages, n_microbatches)
+            for s in range(n_stages))
+    return PipelineSchedule(kind=kind, n_stages=n_stages,
+                            n_microbatches=n_microbatches,
+                            programs=programs)
+
+
+def structural_bubble_time(n_stages: int, t_fwd: float,
+                           t_bwd: float) -> float:
+    """The schedule-independent fill/drain lower bound.
+
+    Both GPipe and 1F1B idle each stage for ``(P-1) * (t_f + t_b)`` in
+    aggregate when memory is free; measured bubbles exceed this bound
+    by exactly the memory system's exposed stall time.
+    """
+    if n_stages < 1:
+        raise ValueError("need at least one stage")
+    return (n_stages - 1) * (t_fwd + t_bwd)

@@ -29,6 +29,9 @@ from repro.units import FP32_BYTES
 class ParallelStrategy(enum.Enum):
     DATA = "data-parallel"
     MODEL = "model-parallel"
+    #: Microbatched pipeline parallelism (GPipe / 1F1B): stages are
+    #: contiguous layer groups, scheduled by :mod:`repro.pipeline`.
+    PIPELINE = "pipeline-parallel"
 
 
 @dataclass(frozen=True)
@@ -171,6 +174,10 @@ def partition(net: Network, batch: int, strategy: ParallelStrategy,
         raise ValueError("need at least one device")
     if batch <= 0:
         raise ValueError("batch must be positive")
+    if strategy is ParallelStrategy.PIPELINE:
+        raise ValueError(
+            "pipeline parallelism partitions the network into stages, "
+            "not per-layer shards; use repro.pipeline.plan_pipeline")
     if strategy is ParallelStrategy.DATA:
         return _partition_data(net, batch, n_devices)
     return _partition_model(net, batch, n_devices)

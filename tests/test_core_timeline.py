@@ -76,6 +76,55 @@ class TestScheduling:
         assert len(result.ops_on(EngineKind.COMPUTE)) == 1
 
 
+class TestChannels:
+    def test_same_engine_different_channels_overlap(self):
+        ops = OpList()
+        ops.add(EngineKind.COMPUTE, 2.0, [], tag="a", channel=0)
+        ops.add(EngineKind.COMPUTE, 2.0, [], tag="b", channel=1)
+        result = run_timeline(ops)
+        assert result.scheduled[1].start == 0.0
+        assert result.makespan == pytest.approx(2.0)
+        assert result.channels == (0, 1)
+
+    def test_same_channel_serializes(self):
+        ops = OpList()
+        ops.add(EngineKind.COMPUTE, 2.0, [], tag="a", channel=1)
+        ops.add(EngineKind.COMPUTE, 2.0, [], tag="b", channel=1)
+        result = run_timeline(ops)
+        assert result.scheduled[1].start == pytest.approx(2.0)
+
+    def test_busy_aggregates_and_splits(self):
+        ops = OpList()
+        ops.add(EngineKind.COMPUTE, 1.0, [], tag="a", channel=0)
+        ops.add(EngineKind.COMPUTE, 3.0, [], tag="b", channel=2)
+        result = run_timeline(ops)
+        assert result.busy_time(EngineKind.COMPUTE) == pytest.approx(4.0)
+        assert result.busy_time(EngineKind.COMPUTE, 0) \
+            == pytest.approx(1.0)
+        assert result.busy_time(EngineKind.COMPUTE, 2) \
+            == pytest.approx(3.0)
+        assert result.busy_time(EngineKind.COMPUTE, 1) == 0.0
+        assert result.ops_on(EngineKind.COMPUTE, 2)[0].op.tag == "b"
+
+    def test_cross_channel_dependencies(self):
+        ops = OpList()
+        first = ops.add(EngineKind.COMPUTE, 2.0, [], tag="a", channel=0)
+        ops.add(EngineKind.COMPUTE, 1.0, [first], tag="b", channel=1)
+        result = run_timeline(ops)
+        assert result.scheduled[1].start == pytest.approx(2.0)
+
+    def test_rejects_negative_channel(self):
+        with pytest.raises(ValueError):
+            Op(0, EngineKind.COMPUTE, 1.0, (), "x", channel=-1)
+
+    def test_default_channel_is_spmd(self):
+        ops = oplist([(EngineKind.COMPUTE, 1.0, [])])
+        result = run_timeline(ops)
+        assert result.channels == (0,)
+        assert result.busy_per_channel[(EngineKind.COMPUTE, 0)] \
+            == pytest.approx(1.0)
+
+
 class TestInvariants:
     @given(st.lists(st.tuples(
         st.sampled_from(list(EngineKind)),

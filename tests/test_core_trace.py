@@ -4,11 +4,13 @@ import json
 
 import pytest
 
-from repro.core.design_points import dc_dla
+from repro.core.design_points import dc_dla, design_point
 from repro.core.schedule import build_iteration_ops, plan_iteration
+from repro.core.simulator import iteration_timeline
 from repro.core.timeline import EngineKind, OpList, run_timeline
-from repro.core.trace import (engine_utilization, to_chrome_trace,
-                              to_records)
+from repro.core.trace import (TAG_CATEGORIES, engine_utilization,
+                              register_tag_category, tag_category,
+                              to_chrome_trace, to_records)
 from repro.dnn.registry import build_network
 from repro.experiments.report import format_bars, format_stacked_bars
 from repro.training.parallel import ParallelStrategy
@@ -22,6 +24,12 @@ def alexnet_timeline():
     return run_timeline(build_iteration_ops(plan, config))
 
 
+@pytest.fixture(scope="module")
+def pipeline_timeline():
+    return iteration_timeline(design_point("MC-DLA(B)"), "GPT2", 64,
+                              ParallelStrategy.PIPELINE)
+
+
 class TestRecords:
     def test_records_sorted_and_complete(self, alexnet_timeline):
         records = to_records(alexnet_timeline)
@@ -29,8 +37,9 @@ class TestRecords:
         starts = [r["start"] for r in records]
         assert starts == sorted(starts)
         first = records[0]
-        assert set(first) == {"uid", "tag", "engine", "start", "finish",
-                              "duration", "nbytes"}
+        assert set(first) == {"uid", "tag", "engine", "channel",
+                              "start", "finish", "duration", "nbytes"}
+        assert first["channel"] == 0  # SPMD timelines stay on channel 0
 
     def test_durations_consistent(self, alexnet_timeline):
         for r in to_records(alexnet_timeline):
@@ -69,6 +78,87 @@ class TestChromeTrace:
                       key=lambda e: e["ts"] + e["dur"])
         assert longest["ts"] + longest["dur"] == pytest.approx(
             alexnet_timeline.makespan * 1e6, rel=1e-6)
+
+
+class TestCategories:
+    def test_known_prefixes(self):
+        assert tag_category("fwd:conv1") == "compute"
+        assert tag_category("offload:conv1") == "migration"
+        assert tag_category("sync-dw:s3") == "collective"
+        assert tag_category("send-act:s0>s1:m2") == "pipeline"
+        assert tag_category("send-grad:s1>s0:m2") == "pipeline"
+        assert tag_category("bubble:s4") == "bubble"
+
+    def test_unknown_prefix_falls_back_to_other(self):
+        assert tag_category("warp-drive:x") == "other"
+        with pytest.raises(KeyError, match="register_tag_category"):
+            tag_category("warp-drive:x", strict=True)
+
+    def test_register_tag_category(self):
+        register_tag_category("zb-w", "compute")
+        try:
+            assert tag_category("zb-w:s0:m1", strict=True) == "compute"
+        finally:
+            del TAG_CATEGORIES["zb-w"]
+
+    def test_register_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            register_tag_category("has:colon", "compute")
+        with pytest.raises(ValueError):
+            register_tag_category("", "compute")
+        with pytest.raises(ValueError):
+            register_tag_category("ok", "")
+
+
+class TestPipelineTrace:
+    def test_rows_per_stage(self, pipeline_timeline):
+        doc = json.loads(to_chrome_trace(pipeline_timeline))
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(metadata) == 8 * 4  # 8 stages x 4 engines
+        names = {e["args"]["name"] for e in metadata}
+        assert "stage0/compute" in names
+        assert "stage7/dma-in" in names
+
+    def test_pipeline_categories_present(self, pipeline_timeline):
+        doc = json.loads(to_chrome_trace(pipeline_timeline))
+        cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"compute", "migration", "pipeline"} <= cats
+        assert "other" not in cats
+
+    def test_bubble_events_fill_compute_gaps(self, pipeline_timeline):
+        doc = json.loads(to_chrome_trace(pipeline_timeline,
+                                         include_bubbles=True))
+        bubbles = [e for e in doc["traceEvents"]
+                   if e["cat"] == "bubble"]
+        assert bubbles
+        assert all(e["dur"] > 0 for e in bubbles)
+        plain = json.loads(to_chrome_trace(pipeline_timeline))
+        assert not [e for e in plain["traceEvents"]
+                    if e["cat"] == "bubble"]
+
+    def test_fleet_average_utilization_bounded(self, pipeline_timeline):
+        util = engine_utilization(pipeline_timeline)
+        for fraction in util.values():
+            assert 0.0 <= fraction <= 1.0 + 1e-9
+
+
+class TestTraceCli:
+    def test_writes_trace_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+        out = tmp_path / "iter.trace.json"
+        code = main(["trace", "MC-DLA(B)", "GPT2", "--batch", "32",
+                     "--strategy", "pipeline", "-o", str(out)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert any(e["cat"] == "bubble" for e in doc["traceEvents"])
+
+    def test_rejects_unknown_design_and_network(self, capsys):
+        from repro.__main__ import main
+        assert main(["trace", "NOPE", "GPT2"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+        assert main(["trace", "DC-DLA", "NOPE"]) == 2
+        assert "unknown network" in capsys.readouterr().err
 
 
 class TestUtilization:

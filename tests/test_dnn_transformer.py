@@ -1,0 +1,116 @@
+"""Tests for the transformer workload family."""
+
+import pytest
+
+from repro.core.design_points import DESIGN_ORDER, design_point
+from repro.core.simulator import simulate
+from repro.dnn.layers import (CHEAP_KINDS, WEIGHTED_KINDS, Layer,
+                              LayerKind)
+from repro.dnn.models.transformer import (TRANSFORMER_SPECS,
+                                          TransformerSpec,
+                                          build_transformer)
+from repro.dnn.registry import (BENCHMARK_NAMES, TRANSFORMER_NAMES,
+                                WORKLOAD_NAMES, benchmark_info,
+                                build_network)
+from repro.dnn.shapes import attention_gemms, token_fc_gemm
+from repro.training.parallel import ParallelStrategy
+
+
+class TestShapes:
+    def test_attention_gemms_quadratic_in_sequence(self):
+        score, context = attention_gemms(seq=128, heads=8, head_dim=64)
+        expected = 8 * 128 * 128 * 64
+        assert score.at_batch(1).macs == expected
+        assert context.at_batch(1).macs == expected
+        double, _ = attention_gemms(seq=256, heads=8, head_dim=64)
+        assert double.at_batch(1).macs == 4 * expected
+
+    def test_token_fc_scales_with_sequence_and_batch(self):
+        gemm = token_fc_gemm(seq=128, out_features=512, in_features=256)
+        assert gemm.at_batch(4).m == 4 * 128
+        assert gemm.at_batch(1).macs == 128 * 512 * 256
+
+
+class TestLayerKinds:
+    def test_new_kinds_classified(self):
+        assert LayerKind.LAYERNORM in CHEAP_KINDS
+        assert LayerKind.GELU in CHEAP_KINDS
+        assert LayerKind.ATTENTION not in CHEAP_KINDS
+        assert LayerKind.EMBEDDING in WEIGHTED_KINDS
+        assert LayerKind.LAYERNORM in WEIGHTED_KINDS
+        assert LayerKind.ATTENTION not in WEIGHTED_KINDS
+
+    def test_attention_layer_cannot_carry_weights(self):
+        with pytest.raises(ValueError):
+            Layer(name="a", kind=LayerKind.ATTENTION, out_elems=8,
+                  weight_elems=8)
+
+
+class TestSpecs:
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            TransformerSpec("bad", blocks=2, hidden=100, heads=16,
+                            seq=64, vocab=1000)
+
+    def test_parameter_counts_match_model_class(self):
+        # BERT-Large is the 340M-class, GPT-2 the 117M-class (both
+        # modeled without biases; GPT-2 ties the LM head).
+        bert = build_network("BERT-Large")
+        assert 320e6 < bert.weight_bytes() / 4 < 345e6
+        gpt2 = build_network("GPT2")
+        assert 110e6 < gpt2.weight_bytes() / 4 < 130e6
+
+    def test_tied_head_counts_once(self):
+        net = build_transformer(TRANSFORMER_SPECS["GPT2"])
+        embed = net.layer("embed")
+        head = net.layer("lm_head")
+        assert embed.weight_group == head.weight_group
+        untied = sum(layer.weight_bytes for layer in net.layers)
+        assert net.weight_bytes() == untied - head.weight_bytes
+
+
+class TestNetworks:
+    @pytest.mark.parametrize("name", TRANSFORMER_NAMES)
+    def test_validates_and_has_expected_structure(self, name):
+        net = build_network(name)
+        net.validate()
+        spec = TRANSFORMER_SPECS[name]
+        kinds = {layer.kind for layer in net.layers}
+        assert {LayerKind.EMBEDDING, LayerKind.ATTENTION,
+                LayerKind.LAYERNORM, LayerKind.GELU} <= kinds
+        attention = [layer for layer in net.layers
+                     if layer.kind is LayerKind.ATTENTION]
+        assert len(attention) == spec.blocks
+
+    def test_registry_separation(self):
+        assert len(BENCHMARK_NAMES) == 8
+        assert not set(TRANSFORMER_NAMES) & set(BENCHMARK_NAMES)
+        assert WORKLOAD_NAMES == BENCHMARK_NAMES + TRANSFORMER_NAMES
+        info = benchmark_info("GPT2")
+        assert info.family == "transformer"
+        assert not info.is_cnn
+
+    def test_footprint_exceeds_device_memory(self):
+        # The raison d'etre: transformer training cannot fit on-device.
+        device = design_point("DC-DLA").device
+        for name in TRANSFORMER_NAMES:
+            net = build_network(name)
+            assert net.training_footprint_bytes(64) \
+                > device.memory_capacity
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("design", DESIGN_ORDER)
+    def test_runs_on_every_design_under_flat_strategies(self, design):
+        config = design_point(design)
+        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
+            result = simulate(config, "GPT2", 32, strategy)
+            assert result.iteration_time > 0
+            assert result.breakdown.compute > 0
+
+    def test_memory_centric_beats_device_centric(self):
+        dc = simulate(design_point("DC-DLA"), "BERT-Large", 64,
+                      ParallelStrategy.DATA)
+        mc = simulate(design_point("MC-DLA(B)"), "BERT-Large", 64,
+                      ParallelStrategy.DATA)
+        assert mc.speedup_over(dc) > 1.0
