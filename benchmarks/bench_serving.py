@@ -1,0 +1,50 @@
+"""Benchmark: the serving comparison -- six designs to SLO collapse.
+
+Runs the serving ladder through the shared campaign cache and emits
+the reproduction table: the device-centric baseline's knee sits an
+order of magnitude below the memory-centric designs', while MC-DLA(B)
+holds within a few percent of the infinite-memory oracle's goodput.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.serving_comparison import (
+    MC_DESIGNS, format_serving_comparison, run_serving_comparison)
+
+
+def test_serving_comparison(benchmark):
+    study = benchmark.pedantic(run_serving_comparison, rounds=1,
+                               iterations=1)
+    emit("Serving: six designs under rising load until SLO collapse",
+         format_serving_comparison(study))
+    dc = study.knee_goodput("DC-DLA")
+    for design in MC_DESIGNS:
+        assert study.knee_goodput(design) > dc
+
+
+def test_serving_tail_amplification(benchmark):
+    """Bursty arrivals stretch the DC baseline's tail far more than
+    the memory-centric designs'."""
+    from repro.core.design_points import design_point
+    from repro.serving import simulate_serving
+
+    def run():
+        return {
+            design: simulate_serving(
+                design_point(design), "GPT2", arrival="bursty",
+                rate=800.0, n_requests=512).serving
+            for design in ("DC-DLA", "MC-DLA(B)")}
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[design, s.latency_p50 * 1e3, s.latency_p99 * 1e3,
+             f"{s.tail_amplification:.2f}x",
+             f"{s.slo_attainment * 100:.1f}%"]
+            for design, s in stats.items()]
+    from repro.experiments.report import format_table
+    emit("Serving tail amplification under bursty (MMPP) arrivals",
+         format_table(["design", "p50 (ms)", "p99 (ms)", "tail amp",
+                       "SLO att."], rows,
+                      title="GPT2 @ 800 req/s bursty, 50 ms SLO"))
+    assert stats["MC-DLA(B)"].latency_p99 < stats["DC-DLA"].latency_p99

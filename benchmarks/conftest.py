@@ -31,6 +31,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: env var (rather than threading a cache_dir through one call site)
 #: routes *every* ``evaluation_matrix`` consumer through the cache,
 #: including Figure 14's internal per-batch grids.
+#:
+#: Because this directory persists across harness runs (each a fresh
+#: interpreter with its own ``PYTHONHASHSEED``), cache keys must be
+#: hash-order independent: ``repro.campaign.points.canonicalize``
+#: sorts set-typed values before hashing, and
+#: ``tests/test_campaign_serving.py::TestHashSeedDeterminism`` holds
+#: the key derivation to that across different hash seeds.
 CACHE_DIR = Path(os.environ.setdefault(
     CACHE_DIR_ENV, str(Path(__file__).parent / ".cache")))
 

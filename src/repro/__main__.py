@@ -96,6 +96,12 @@ def _pipeline() -> str:
     return format_pipeline_comparison(run_pipeline_comparison())
 
 
+def _serving() -> str:
+    from repro.experiments.serving_comparison import (
+        format_serving_comparison, run_serving_comparison)
+    return format_serving_comparison(run_serving_comparison())
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig2": ("Figure 2: device generations vs PCIe overhead", _fig2),
     "fig9": ("Figure 9: ring collective latency", _fig9),
@@ -112,6 +118,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "scaleout": ("Section VI: scale-out plane", _scaleout),
     "pipeline": ("Pipeline parallelism: schedules x designs on "
                  "transformers", _pipeline),
+    "serving": ("Inference serving: six designs under rising load "
+                "until SLO collapse", _serving),
 }
 
 
@@ -180,12 +188,15 @@ def main(argv: list[str] | None = None) -> int:
     if not args or args[0] in ("-h", "--help", "list"):
         print("usage: python -m repro <experiment|all>")
         print("       python -m repro campaign [options]")
+        print("       python -m repro serve [options]")
         print("       python -m repro trace <design> <network> [options]")
         print("experiments:")
         for key, (title, _) in EXPERIMENTS.items():
             print(f"  {key:<12} {title}")
         print("  campaign     arbitrary sweeps over the design space "
               "(--help for options)")
+        print("  serve        one serving simulation: latency "
+              "percentiles, goodput, SLO (--help for options)")
         print("  trace        Chrome/Perfetto trace of one iteration "
               "(--help for options)")
         return 0
@@ -193,6 +204,10 @@ def main(argv: list[str] | None = None) -> int:
     if args[0] == "campaign":
         from repro.campaign.cli import main as campaign_main
         return campaign_main(args[1:])
+
+    if args[0] == "serve":
+        from repro.serving.cli import main as serve_main
+        return serve_main(args[1:])
 
     if args[0] == "trace":
         return _trace_main(args[1:])

@@ -24,10 +24,11 @@ import sys
 import time
 
 from repro.campaign.cache import ResultCache, default_cache_dir
-from repro.campaign.points import grid, pipeline_grid
+from repro.campaign.points import grid, pipeline_grid, serving_grid
 from repro.campaign.runner import CampaignReport, CellOutcome, run_campaign
 from repro.core.design_points import DESIGN_ORDER
-from repro.dnn.registry import BENCHMARK_NAMES, WORKLOAD_NAMES
+from repro.dnn.registry import (BENCHMARK_NAMES, TRANSFORMER_NAMES,
+                                WORKLOAD_NAMES)
 from repro.training.parallel import ParallelStrategy
 
 _STRATEGY_ALIASES = {
@@ -44,13 +45,25 @@ _CSV_FIELDS = (
     "iteration_time", "throughput", "compute", "sync", "vmem",
     "offload_bytes_per_device", "sync_bytes",
     "host_traffic_bytes_per_device", "fits_in_device_memory",
-    "bubble_fraction", "cached",
+    "bubble_fraction", "mode", "latency_p50", "latency_p95",
+    "latency_p99", "goodput", "slo_attainment", "cached",
 )
 
 
 def _split(raw: str) -> list[str]:
     items = [item.strip() for item in raw.split(",") if item.strip()]
     return list(dict.fromkeys(items))  # dedupe, keep order
+
+
+def _parse_policy(raw: str) -> tuple[int, float]:
+    """Parse a ``MAXxWAITms`` batch policy, e.g. ``8x2`` or ``16x0.5``."""
+    try:
+        max_batch, wait_ms = raw.lower().split("x", 1)
+        return int(max_batch), float(wait_ms)
+    except ValueError:
+        raise ValueError(
+            f"bad batch policy {raw!r}; expected MAXxWAITms, "
+            f"e.g. 8x2") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +94,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--microbatches", type=int, default=8,
         help="microbatches per pipeline iteration (default: 8)")
+    parser.add_argument(
+        "--arrival-rates", default="",
+        help="comma-separated request rates (req/s); non-empty adds "
+             "serving cells to the grid")
+    parser.add_argument(
+        "--slo-ms", default="50",
+        help="comma-separated latency SLOs for serving cells, in ms "
+             "(default: 50)")
+    parser.add_argument(
+        "--batch-policies", default="8x2",
+        help="comma-separated dynamic-batching policies for serving "
+             "cells, as MAXxWAITms (default: 8x2 = batch 8, 2 ms)")
+    parser.add_argument(
+        "--batcher", choices=("dynamic", "continuous"),
+        default="dynamic",
+        help="serving batcher (default: dynamic)")
+    parser.add_argument(
+        "--arrival", choices=("poisson", "bursty"), default="poisson",
+        help="serving arrival process (default: poisson)")
+    parser.add_argument(
+        "--requests", type=int, default=512,
+        help="requests per serving cell (default: 512)")
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="arrival-trace seed for serving cells (default: 0)")
     parser.add_argument(
         "-j", "--jobs", type=int, default=1,
         help="worker processes; 1 runs serially, 0 uses every core")
@@ -130,6 +168,19 @@ def _rows(report: CampaignReport) -> list[dict]:
                                 else None),
             "pipeline": (result.pipeline.to_dict()
                          if result.pipeline is not None else None),
+            "mode": result.mode.value,
+            "latency_p50": (result.serving.latency_p50
+                            if result.serving is not None else None),
+            "latency_p95": (result.serving.latency_p95
+                            if result.serving is not None else None),
+            "latency_p99": (result.serving.latency_p99
+                            if result.serving is not None else None),
+            "goodput": (result.serving.goodput
+                        if result.serving is not None else None),
+            "slo_attainment": (result.serving.slo_attainment
+                               if result.serving is not None else None),
+            "serving": (result.serving.to_dict()
+                        if result.serving is not None else None),
             "cached": outcome.cached,
         })
     return rows
@@ -148,15 +199,34 @@ def _render(report: CampaignReport, fmt: str) -> str:
         writer.writeheader()
         writer.writerows(rows)
         return buffer.getvalue().rstrip("\n")
-    from repro.experiments.report import format_table
-    table_rows = [[r["design"], r["network"], r["batch"], r["strategy"],
-                   r["iteration_time"] * 1e3, r["throughput"],
-                   "hit" if r["cached"] else "miss"]
-                  for r in rows]
-    return format_table(
-        ["design", "network", "batch", "strategy", "iter (ms)",
-         "samples/s", "cache"],
-        table_rows, title=f"campaign: {len(rows)} cells")
+    from repro.experiments.report import format_table, percent
+    table_rows = []
+    has_serving = any(r["mode"] == "serving" for r in rows)
+    for r in rows:
+        row = [r["design"], r["network"], r["batch"], r["strategy"]]
+        if r["mode"] == "serving":
+            # iteration_time holds the whole trace span and
+            # `throughput` the per-batch ratio -- neither means
+            # anything request-level; show the serving metrics.
+            serving = r["serving"]
+            row += ["--", f"{serving['throughput']:.1f} req/s"]
+            if has_serving:
+                row += [r["latency_p99"] * 1e3,
+                        f"{r['goodput']:.1f}",
+                        percent(r["slo_attainment"])]
+        else:
+            row += [r["iteration_time"] * 1e3, r["throughput"]]
+            if has_serving:
+                row += ["--", "--", "--"]
+        row.append("hit" if r["cached"] else "miss")
+        table_rows.append(row)
+    headers = ["design", "network", "batch", "strategy", "iter (ms)",
+               "samples/s"]
+    if has_serving:
+        headers += ["p99 (ms)", "goodput", "SLO att."]
+    headers.append("cache")
+    return format_table(headers, table_rows,
+                        title=f"campaign: {len(rows)} cells")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -191,6 +261,31 @@ def main(argv: list[str] | None = None) -> int:
             points += pipeline_grid(designs, networks, batches,
                                     schedules=schedules,
                                     microbatches=args.microbatches)
+        if args.arrival_rates.strip():
+            if args.batcher == "continuous":
+                flat_nets = [n for n in networks
+                             if n not in TRANSFORMER_NAMES]
+                if flat_nets:
+                    print(f"continuous batching needs transformer "
+                          f"workloads (decode phase); not: "
+                          f"{', '.join(flat_nets)}", file=sys.stderr)
+                    return 2
+            rates = [float(r) for r in _split(args.arrival_rates)]
+            slos = [float(s) for s in _split(args.slo_ms)]
+            policies = [_parse_policy(p)
+                        for p in _split(args.batch_policies)]
+            if args.batcher == "continuous":
+                # Iteration-level batching admits at step boundaries;
+                # there is no fill deadline, so wait variants collapse.
+                policies = list(dict.fromkeys(
+                    (max_batch, 0.0) for max_batch, _ in policies))
+            points += serving_grid(designs, networks, rates,
+                                   slo_ms=slos,
+                                   batch_policies=policies,
+                                   batcher=args.batcher,
+                                   arrival=args.arrival,
+                                   n_requests=args.requests,
+                                   seed=args.seed)
     except (ValueError, KeyError) as exc:
         print(f"bad axis value: {exc}", file=sys.stderr)
         return 2

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import json
 from dataclasses import dataclass
 from typing import Any
 
@@ -42,6 +43,10 @@ class CampaignPoint:
     overrides: Overrides = ()
     replacements: Overrides = ()
     label: str | None = None
+    #: Keyword arguments for :func:`repro.serving.simulate_serving`
+    #: (as sorted pairs).  Non-empty turns this cell into a serving
+    #: simulation instead of a training iteration.
+    serving: Overrides = ()
 
     def __post_init__(self) -> None:
         if self.batch <= 0:
@@ -50,6 +55,12 @@ class CampaignPoint:
                            tuple(sorted(self.overrides)))
         object.__setattr__(self, "replacements",
                            tuple(sorted(self.replacements)))
+        object.__setattr__(self, "serving",
+                           tuple(sorted(self.serving)))
+
+    @property
+    def is_serving(self) -> bool:
+        return bool(self.serving)
 
     @property
     def name(self) -> str:
@@ -78,6 +89,7 @@ class CampaignPoint:
             "strategy": self.strategy.value,
             "overrides": canonicalize(self.overrides),
             "replacements": canonicalize(self.replacements),
+            "serving": canonicalize(self.serving),
         }
 
 
@@ -126,12 +138,59 @@ def pipeline_grid(designs, networks, batches=(512,),
     return tuple(points)
 
 
+def serving_grid(designs, networks, arrival_rates,
+                 slo_ms=(50.0,), batch_policies=((8, 2.0),),
+                 batcher: str = "dynamic", arrival: str = "poisson",
+                 n_requests: int = 512,
+                 seed: int = 0) -> tuple[CampaignPoint, ...]:
+    """Serving cells: one point per (policy, slo, rate, cell).
+
+    ``batch_policies`` is a sequence of ``(max_batch, max_wait_ms)``
+    pairs.  Every point's knobs ride in ``serving`` (keyword arguments
+    of :func:`repro.serving.simulate_serving`), and the label encodes
+    the serving axes so variants of one design coexist in a campaign.
+
+    The continuous batcher has no fill deadline (admission happens at
+    step boundaries), so its wait axis is normalized to zero -- labels
+    and cache keys never suggest a knob the loop ignores.
+    """
+    if batcher == "continuous":
+        batch_policies = tuple(dict.fromkeys(
+            (max_batch, 0.0) for max_batch, _ in batch_policies))
+    points = []
+    for max_batch, wait_ms in batch_policies:
+        for slo in slo_ms:
+            for rate in arrival_rates:
+                for network in networks:
+                    for design in designs:
+                        points.append(CampaignPoint(
+                            design=design, network=network,
+                            batch=max_batch,
+                            strategy=ParallelStrategy.DATA,
+                            serving=(
+                                ("arrival", arrival),
+                                ("batcher", batcher),
+                                ("max_batch", max_batch),
+                                ("max_wait", wait_ms / 1e3),
+                                ("n_requests", n_requests),
+                                ("rate", float(rate)),
+                                ("seed", seed),
+                                ("slo", slo / 1e3)),
+                            label=(f"{design}|{arrival}@{rate:g}rps"
+                                   f"|slo{slo:g}ms"
+                                   f"|b{max_batch}w{wait_ms:g}ms")))
+    return tuple(points)
+
+
 def canonicalize(value: Any) -> Any:
     """Reduce a value to JSON-stable primitives for cache keying.
 
     Handles the spec objects campaigns actually pass around (frozen
     dataclasses such as ``LinkSpec``/``DeviceSpec``), enums, and nested
-    containers; anything else falls back to ``repr``.
+    containers; anything else falls back to ``repr``.  Sets are sorted
+    by their canonical JSON image first -- Python iterates sets in
+    hash order, which varies with ``PYTHONHASHSEED``, and a cache key
+    must not.
     """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
@@ -143,9 +202,17 @@ def canonicalize(value: Any) -> Any:
             "fields": {f.name: canonicalize(getattr(value, f.name))
                        for f in dataclasses.fields(value)},
         }
+    if isinstance(value, (set, frozenset)):
+        items = [canonicalize(item) for item in value]
+        return {"__set__": sorted(items, key=_json_image)}
     if isinstance(value, (tuple, list)):
         return [canonicalize(item) for item in value]
     if isinstance(value, dict):
         return {str(k): canonicalize(v)
                 for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
     return {"__repr__": repr(value)}
+
+
+def _json_image(value: Any) -> str:
+    """A total, hash-independent ordering key for canonical values."""
+    return json.dumps(value, sort_keys=True)

@@ -100,7 +100,14 @@ def _simulate_cell(point: CampaignPoint,
     """Pool worker: build the config and run one cell (picklable)."""
     start = time.perf_counter()
     config = point.build_config(factory)
-    result = simulate(config, point.network, point.batch, point.strategy)
+    if point.is_serving:
+        # Imported lazily: repro.serving depends on repro.core.
+        from repro.serving.server import simulate_serving
+        result = simulate_serving(config, point.network,
+                                  **dict(point.serving))
+    else:
+        result = simulate(config, point.network, point.batch,
+                          point.strategy)
     return result, time.perf_counter() - start
 
 

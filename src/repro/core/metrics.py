@@ -8,10 +8,28 @@ parses back to the same IEEE-754 value.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Any
 
 from repro.training.parallel import ParallelStrategy
+
+
+class ExecutionMode(enum.Enum):
+    """What one ``simulate()`` call models.
+
+    ``TRAINING`` is the paper's iteration (forward + backward +
+    migration + synchronization).  ``INFERENCE`` is a forward-only
+    batch with multi-tenant weight streaming from the backing store
+    (:func:`repro.core.schedule.plan_inference`).  ``SERVING`` marks a
+    result produced by the request-level serving simulation
+    (:mod:`repro.serving`), whose payload lives in
+    :class:`ServingStats`.
+    """
+
+    TRAINING = "training"
+    INFERENCE = "inference"
+    SERVING = "serving"
 
 
 @dataclass(frozen=True)
@@ -130,6 +148,103 @@ class PipelineStats:
 
 
 @dataclass(frozen=True)
+class ServingStats:
+    """Request-level outcome of one inference-serving simulation.
+
+    Latencies are end-to-end (arrival to completion, queueing included)
+    in seconds; percentiles use the nearest-rank method so they are
+    exact order statistics of the completed-request population and
+    round-trip losslessly through JSON.  ``goodput`` counts only
+    requests completed within the SLO.
+    """
+
+    arrival: str          # arrival-process label, e.g. "poisson(r=200)"
+    batcher: str          # "dynamic" | "continuous"
+    max_batch: int
+    max_wait: float       # batching deadline (seconds)
+    slo: float            # latency objective (seconds)
+    n_requests: int
+    n_servers: int
+    #: Wall-clock span of the simulation (first arrival to last
+    #: completion).
+    duration: float
+    #: Nominal offered load of the arrival process (requests/sec).
+    offered_rate: float
+    #: Completed requests per second over ``duration``.
+    throughput: float
+    #: SLO-satisfying completions per second over ``duration``.
+    goodput: float
+    #: Fraction of requests completed within the SLO.
+    slo_attainment: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_max: float
+    queue_delay_mean: float
+    service_mean: float
+    mean_batch_size: float
+    #: Aggregate server busy time over ``n_servers * duration``.
+    utilization: float
+
+    def __post_init__(self) -> None:
+        if self.n_requests <= 0:
+            raise ValueError("stats need at least one request")
+        if self.n_servers <= 0:
+            raise ValueError("need at least one server")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0.0 <= self.slo_attainment <= 1.0:
+            raise ValueError("slo_attainment must be a fraction")
+        if not (self.latency_p50 <= self.latency_p95
+                <= self.latency_p99 <= self.latency_max):
+            raise ValueError("latency percentiles must be ordered")
+        if self.utilization < 0.0 or self.utilization > 1.0 + 1e-9:
+            raise ValueError("utilization must lie in [0, 1]")
+
+    @property
+    def tail_amplification(self) -> float:
+        """p99 over p50 -- how much queueing stretches the tail."""
+        return (self.latency_p99 / self.latency_p50
+                if self.latency_p50 > 0 else 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "arrival": self.arrival,
+            "batcher": self.batcher,
+            "max_batch": self.max_batch,
+            "max_wait": self.max_wait,
+            "slo": self.slo,
+            "n_requests": self.n_requests,
+            "n_servers": self.n_servers,
+            "duration": self.duration,
+            "offered_rate": self.offered_rate,
+            "throughput": self.throughput,
+            "goodput": self.goodput,
+            "slo_attainment": self.slo_attainment,
+            "latency_mean": self.latency_mean,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "latency_max": self.latency_max,
+            "queue_delay_mean": self.queue_delay_mean,
+            "service_mean": self.service_mean,
+            "mean_batch_size": self.mean_batch_size,
+            "utilization": self.utilization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServingStats":
+        return cls(**{field: data[field] for field in (
+            "arrival", "batcher", "max_batch", "max_wait", "slo",
+            "n_requests", "n_servers", "duration", "offered_rate",
+            "throughput", "goodput", "slo_attainment", "latency_mean",
+            "latency_p50", "latency_p95", "latency_p99", "latency_max",
+            "queue_delay_mean", "service_mean", "mean_batch_size",
+            "utilization")})
+
+
+@dataclass(frozen=True)
 class SimulationResult:
     """One (design point, network, batch, strategy) simulation."""
 
@@ -151,6 +266,11 @@ class SimulationResult:
     #: Per-stage pipeline accounting (``ParallelStrategy.PIPELINE``
     #: only; ``None`` for data/model-parallel runs).
     pipeline: PipelineStats | None = None
+    #: What this result models; training iterations by default.
+    mode: ExecutionMode = ExecutionMode.TRAINING
+    #: Request-level serving statistics (``ExecutionMode.SERVING``
+    #: only; ``None`` otherwise).
+    serving: ServingStats | None = None
 
     def __post_init__(self) -> None:
         if self.iteration_time <= 0:
@@ -195,12 +315,16 @@ class SimulationResult:
             "fits_in_device_memory": self.fits_in_device_memory,
             "pipeline": (self.pipeline.to_dict()
                          if self.pipeline is not None else None),
+            "mode": self.mode.value,
+            "serving": (self.serving.to_dict()
+                        if self.serving is not None else None),
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SimulationResult":
         """Rebuild a result from :meth:`to_dict` output (exact)."""
         pipeline = data.get("pipeline")
+        serving = data.get("serving")
         return cls(
             system=data["system"],
             network=data["network"],
@@ -216,4 +340,7 @@ class SimulationResult:
             fits_in_device_memory=data["fits_in_device_memory"],
             pipeline=(PipelineStats.from_dict(pipeline)
                       if pipeline is not None else None),
+            mode=ExecutionMode(data.get("mode", "training")),
+            serving=(ServingStats.from_dict(serving)
+                     if serving is not None else None),
         )

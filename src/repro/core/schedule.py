@@ -69,6 +69,132 @@ def plan_iteration(net: Network, config: SystemConfig, batch: int,
                          parts=parts, step=step, migrated_shards=migrated)
 
 
+@dataclass(frozen=True)
+class InferencePlan:
+    """One forward-only (serving) batch on a design point.
+
+    Inference has no backward pass and therefore no feature-map
+    offload; what stresses the memory system instead is *weight
+    streaming*: a consolidated serving node hosts many tenant models,
+    so a request batch finds its model's weights cold in the backing
+    store and must fetch them over the virtualization channel.
+    Mirroring the paper's stress-test methodology (every eligible
+    tensor migrates regardless of fit, Section IV), every weighted
+    layer streams its weights; only designs without a migration channel
+    (the oracle) keep weights resident.
+    """
+
+    net: Network
+    batch: int
+    strategy: ParallelStrategy
+    parts: dict[str, PartitionedLayer]
+    #: layer -> per-device weight bytes fetched from the backing store
+    #: (tied ``weight_group`` buffers are fetched once, at the first
+    #: member).
+    streamed_weights: dict[str, int]
+
+    @property
+    def weight_stream_bytes_per_device(self) -> int:
+        return sum(self.streamed_weights.values())
+
+    @property
+    def sync_bytes_per_iteration(self) -> int:
+        total = 0
+        for part in self.parts.values():
+            if part.fwd_sync is not None:
+                total += part.fwd_sync.nbytes
+        return total
+
+
+def plan_inference(net: Network, config: SystemConfig, batch: int,
+                   strategy: ParallelStrategy) -> InferencePlan:
+    """Partition the network and derive the weight-streaming plan."""
+    if strategy is ParallelStrategy.PIPELINE:
+        raise ValueError(
+            "inference serving replicates the model per device; "
+            "pipeline-parallel inference is not modeled")
+    parts = {p.name: p for p in partition(net, batch, strategy,
+                                          config.n_devices)}
+    streamed: dict[str, int] = {}
+    if config.virtualizes:
+        seen_groups: set[str] = set()
+        for layer in net.layers:
+            if not layer.weight_elems:
+                continue
+            if layer.weight_group:
+                if layer.weight_group in seen_groups:
+                    continue
+                seen_groups.add(layer.weight_group)
+            nbytes = layer.weight_bytes
+            if strategy is ParallelStrategy.MODEL:
+                # Model-parallel shards each weight matrix N-wise.
+                nbytes = max(1, nbytes // config.n_devices)
+            streamed[layer.name] = nbytes
+    return InferencePlan(net=net, batch=batch, strategy=strategy,
+                         parts=parts, streamed_weights=streamed)
+
+
+def build_inference_ops(plan: InferencePlan,
+                        config: SystemConfig) -> OpList:
+    """Emit one forward-only batch's ops in issue order.
+
+    Weight fetches ride the prefetch DMA engine with the same bounded
+    lookahead as training prefetches (``prefetch_window`` layers of
+    run-ahead), so a fast backing store hides them behind compute and
+    a slow one exposes them -- the serving-time memory wall.
+    """
+    ops = OpList()
+    device = config.device
+    net = plan.net
+    parts = plan.parts
+
+    ready: dict[str, int | None] = {}
+    sync_uid: dict[str, int] = {}
+    computes: list[int] = []
+
+    for name in net.layer_names:
+        layer = net.layer(name)
+        if layer.kind is LayerKind.INPUT:
+            ready[name] = None
+            continue
+        part = parts[name]
+
+        preds = net.predecessors(name)
+        deps = [ready[p] for p in preds if ready.get(p) is not None]
+        # Chunk-pipelined layer-boundary collectives, exactly as in the
+        # training forward pass: wait on grandparents' all-gathers.
+        for p in preds:
+            for gp in net.predecessors(p):
+                if gp in sync_uid:
+                    deps.append(sync_uid[gp])
+
+        if name in plan.streamed_weights:
+            nbytes = plan.streamed_weights[name]
+            gate: list[int] = []
+            if len(computes) >= config.prefetch_window:
+                gate = [computes[-config.prefetch_window]]
+            fetch = ops.add(EngineKind.DMA_IN,
+                            config.vmem.transfer_time(nbytes),
+                            gate, tag=f"wfetch:{name}", nbytes=nbytes)
+            deps.append(fetch)
+
+        compute = ops.add(EngineKind.COMPUTE,
+                          device.op_time(list(part.fwd_gemms),
+                                         part.fwd_stream_bytes),
+                          deps, tag=f"fwd:{name}")
+        computes.append(compute)
+        if part.fwd_sync is not None:
+            sync_uid[name] = ops.add(
+                EngineKind.COMM,
+                config.collectives.time(part.fwd_sync.primitive,
+                                        part.fwd_sync.nbytes),
+                [compute], tag=f"sync-fwd:{name}",
+                nbytes=part.fwd_sync.nbytes)
+        ready[name] = compute
+
+    return ops
+
+
 def build_iteration_ops(plan: IterationPlan,
                         config: SystemConfig) -> OpList:
     """Emit the iteration's ops in dependency-consistent issue order."""

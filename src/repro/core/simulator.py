@@ -9,8 +9,10 @@ feeds Figure 12.
 
 from __future__ import annotations
 
-from repro.core.metrics import LatencyBreakdown, SimulationResult
-from repro.core.schedule import build_iteration_ops, plan_iteration
+from repro.core.metrics import (ExecutionMode, LatencyBreakdown,
+                                SimulationResult)
+from repro.core.schedule import (build_inference_ops, build_iteration_ops,
+                                 plan_inference, plan_iteration)
 from repro.core.system import SystemConfig
 from repro.core.timeline import (EngineKind, TimelineResult,
                                  run_timeline)
@@ -30,10 +32,17 @@ def _resolve(network: Network | str) -> Network:
 
 def simulate(config: SystemConfig, network: Network | str,
              batch: int = DEFAULT_BATCH,
-             strategy: ParallelStrategy = ParallelStrategy.DATA) \
+             strategy: ParallelStrategy = ParallelStrategy.DATA,
+             mode: ExecutionMode = ExecutionMode.TRAINING) \
         -> SimulationResult:
-    """Simulate one training iteration on a design point."""
+    """Simulate one training iteration (or one forward-only inference
+    batch, with ``mode=ExecutionMode.INFERENCE``) on a design point."""
     net = _resolve(network)
+    if mode is ExecutionMode.INFERENCE:
+        return _simulate_inference(config, net, batch, strategy)
+    if mode is not ExecutionMode.TRAINING:
+        raise ValueError(f"simulate() cannot run mode {mode}; serving "
+                         f"runs through repro.serving")
     if strategy is ParallelStrategy.PIPELINE:
         return _simulate_pipeline(config, net, batch)
     plan = plan_iteration(net, config, batch, strategy)
@@ -65,6 +74,46 @@ def simulate(config: SystemConfig, network: Network | str,
         sync_bytes=plan.sync_bytes_per_iteration,
         host_traffic_bytes_per_device=host_traffic,
         fits_in_device_memory=footprint <= config.device.memory_capacity,
+    )
+
+
+def _simulate_inference(config: SystemConfig, net: Network, batch: int,
+                        strategy: ParallelStrategy) -> SimulationResult:
+    """Forward-only batch with multi-tenant weight streaming.
+
+    ``iteration_time`` is the end-to-end latency of serving one request
+    batch on one device replica (data-parallel) or across the node
+    (model-parallel).  ``offload_bytes_per_device`` reports the
+    *one-way* weight bytes fetched from the backing store -- inference
+    pushes nothing back.
+    """
+    plan = plan_inference(net, config, batch, strategy)
+    ops = build_inference_ops(plan, config)
+    timeline = run_timeline(ops)
+
+    breakdown = LatencyBreakdown(
+        compute=timeline.busy_time(EngineKind.COMPUTE),
+        sync=timeline.busy_time(EngineKind.COMM),
+        vmem=(timeline.busy_time(EngineKind.DMA_OUT)
+              + timeline.busy_time(EngineKind.DMA_IN)))
+
+    streamed = plan.weight_stream_bytes_per_device
+    host_traffic = streamed if config.uses_host_memory else 0
+    footprint = net.inference_footprint_bytes(batch)
+
+    return SimulationResult(
+        system=config.name,
+        network=net.name,
+        batch=batch,
+        strategy=strategy,
+        n_devices=config.n_devices,
+        iteration_time=timeline.makespan,
+        breakdown=breakdown,
+        offload_bytes_per_device=streamed,
+        sync_bytes=plan.sync_bytes_per_iteration,
+        host_traffic_bytes_per_device=host_traffic,
+        fits_in_device_memory=footprint <= config.device.memory_capacity,
+        mode=ExecutionMode.INFERENCE,
     )
 
 

@@ -171,6 +171,17 @@ class Network:
         """
         return 2 * self.weight_bytes() + self.feature_map_bytes(batch)
 
+    def inference_footprint_bytes(self, batch: int) -> int:
+        """Memory needed to run forward-only with resident weights.
+
+        Forward-only execution retains no feature maps: a ping-pong
+        pair of the largest activation buffers suffices, on top of the
+        (unique) weights.
+        """
+        peak = max((layer.out_bytes(batch) for layer in self.layers),
+                   default=0)
+        return self.weight_bytes() + 2 * peak
+
     def fwd_macs(self, batch: int) -> int:
         return sum(layer.fwd_macs(batch) for layer in self.layers)
 

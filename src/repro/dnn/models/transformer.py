@@ -23,7 +23,8 @@ from dataclasses import dataclass
 
 from repro.dnn.graph import Network, input_layer
 from repro.dnn.layers import Layer, LayerKind
-from repro.dnn.shapes import attention_gemms, token_fc_gemm
+from repro.dnn.shapes import (attention_gemms, decode_attention_gemms,
+                              token_fc_gemm)
 
 
 @dataclass(frozen=True)
@@ -153,6 +154,82 @@ def build_transformer(spec: TransformerSpec) -> Network:
 
     net.validate()
     return net
+
+
+def build_transformer_decode(spec: TransformerSpec,
+                             context: int | None = None) -> Network:
+    """One autoregressive decode step of ``spec`` as a DAG.
+
+    A single query token runs through every block, attending over
+    ``context`` cached KV entries (default: the full ``spec.seq``
+    window).  Projections collapse to per-token GEMVs and attention to
+    :func:`~repro.dnn.shapes.decode_attention_gemms`; the weight
+    matrices are unchanged, which is exactly why serving decode traffic
+    is weight-bandwidth-bound.  Used by the continuous batcher of
+    :mod:`repro.serving` to price per-step iteration latency.
+    """
+    ctx = spec.seq if context is None else context
+    if ctx <= 0:
+        raise ValueError("decode context must be positive")
+    net = Network(f"{spec.name}-decode")
+    tie_group = f"{spec.name}_decode_embed"
+    h = spec.hidden
+
+    net.add_layer(input_layer("token", 1))
+    net.add_layer(
+        Layer(name="embed", kind=LayerKind.EMBEDDING, out_elems=h,
+              weight_elems=spec.embedding_elems, stream_elems=2 * h,
+              weight_group=tie_group),
+        inputs=["token"])
+
+    src = "embed"
+    for index in range(spec.blocks):
+        p = f"b{index}_"
+        ln1 = _cheap(net, p + "ln1", LayerKind.LAYERNORM, h, [src],
+                     weight_elems=2 * h)
+        qkv = _projection_rows(net, p + "qkv", 1, 3 * h, h, ln1)
+        attn = net.add_layer(
+            Layer(name=p + "attn", kind=LayerKind.ATTENTION, out_elems=h,
+                  gemms=decode_attention_gemms(ctx, spec.heads,
+                                               spec.head_dim)),
+            inputs=[qkv]).name
+        proj = _projection_rows(net, p + "proj", 1, h, h, attn)
+        res1 = _cheap(net, p + "res1", LayerKind.ELTWISE, h,
+                      [src, proj], stream_mult=3)
+        ln2 = _cheap(net, p + "ln2", LayerKind.LAYERNORM, h, [res1],
+                     weight_elems=2 * h)
+        ffn1 = _projection_rows(net, p + "ffn1", 1, spec.ffn_mult * h,
+                                h, ln2)
+        gelu = _cheap(net, p + "gelu", LayerKind.GELU,
+                      spec.ffn_mult * h, [ffn1])
+        ffn2 = _projection_rows(net, p + "ffn2", 1, h,
+                                spec.ffn_mult * h, gelu)
+        src = _cheap(net, p + "res2", LayerKind.ELTWISE, h,
+                     [res1, ffn2], stream_mult=3)
+
+    final = _cheap(net, "ln_f", LayerKind.LAYERNORM, h, [src],
+                   weight_elems=2 * h)
+    net.add_layer(
+        Layer(name="lm_head", kind=LayerKind.FC, out_elems=1,
+              weight_elems=spec.embedding_elems,
+              gemms=(token_fc_gemm(1, spec.vocab, h),),
+              weight_group=tie_group),
+        inputs=[final])
+
+    net.validate()
+    return net
+
+
+def _projection_rows(net: Network, name: str, rows: int,
+                     out_features: int, in_features: int,
+                     src: str) -> str:
+    net.add_layer(
+        Layer(name=name, kind=LayerKind.FC,
+              out_elems=rows * out_features,
+              weight_elems=in_features * out_features,
+              gemms=(token_fc_gemm(rows, out_features, in_features),)),
+        inputs=[src])
+    return name
 
 
 def build_bert_large() -> Network:

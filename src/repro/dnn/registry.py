@@ -18,7 +18,9 @@ from repro.dnn.models.googlenet import build_googlenet
 from repro.dnn.models.resnet import build_resnet34
 from repro.dnn.models.rnn import (build_rnn_gemv, build_rnn_gru,
                                   build_rnn_lstm1, build_rnn_lstm2)
-from repro.dnn.models.transformer import build_bert_large, build_gpt2
+from repro.dnn.models.transformer import (TRANSFORMER_SPECS,
+                                          build_bert_large, build_gpt2,
+                                          build_transformer_decode)
 from repro.dnn.models.vgg import build_vgg_e
 
 
@@ -91,6 +93,21 @@ def benchmark_info(name: str) -> BenchmarkInfo:
 def build_network(name: str) -> Network:
     """Build (and cache) a registered network by name."""
     return benchmark_info(name).builder()
+
+
+@lru_cache(maxsize=None)
+def decode_network(name: str, context: int | None = None) -> Network:
+    """The single-token decode-step variant of a transformer workload.
+
+    Serving's continuous batcher prices per-step iteration time on
+    these GEMV-class networks; non-transformer workloads have no
+    decode phase and raise ``KeyError``.
+    """
+    if name not in TRANSFORMER_SPECS:
+        raise KeyError(
+            f"workload {name!r} has no decode-step variant; "
+            f"transformers: {', '.join(TRANSFORMER_SPECS)}")
+    return build_transformer_decode(TRANSFORMER_SPECS[name], context)
 
 
 def all_benchmarks() -> list[BenchmarkInfo]:

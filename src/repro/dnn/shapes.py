@@ -94,6 +94,22 @@ def token_fc_gemm(seq: int, out_features: int, in_features: int) -> Gemm:
     return Gemm(m=seq, n=out_features, k=in_features, m_per_sample=True)
 
 
+def decode_attention_gemms(context: int, heads: int,
+                           head_dim: int) -> tuple[Gemm, Gemm]:
+    """Lower one autoregressive decode step's attention GEMMs.
+
+    A single query token attends over ``context`` cached KV entries:
+    the score GEMM is ``[heads x d] @ [d x context]`` and the context
+    GEMM ``[heads x context] @ [context x d]`` per sample -- GEMV-class
+    shapes whose arithmetic intensity is far below the prefill
+    (:func:`attention_gemms`) and which therefore lean on memory
+    bandwidth, the serving-era memory wall.
+    """
+    score = Gemm(m=heads, n=context, k=head_dim, m_per_sample=True)
+    ctx = Gemm(m=heads, n=head_dim, k=context, m_per_sample=True)
+    return score, ctx
+
+
 def attention_gemms(seq: int, heads: int, head_dim: int) -> tuple[Gemm,
                                                                   Gemm]:
     """Lower multi-head self-attention's two batched GEMMs.

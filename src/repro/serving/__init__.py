@@ -1,0 +1,37 @@
+"""Inference-serving subsystem: traces, dynamic batching, SLO metrics.
+
+The paper evaluates steady-state training iterations; this package
+stresses the same six design points with the workload the ROADMAP's
+north star actually names -- bursty multi-tenant request traffic:
+
+* :mod:`repro.serving.traces` generates request-arrival traces
+  (Poisson, bursty MMPP, replayed);
+* :mod:`repro.serving.batcher` forms batches under a max-batch-size +
+  max-wait-deadline policy, with a continuous-batching variant for the
+  transformer workloads' decode phase;
+* :mod:`repro.serving.server` drives per-batch forward-only
+  simulations through :func:`repro.core.simulator.simulate` and folds
+  the request ledger into :class:`repro.core.metrics.ServingStats`
+  (p50/p95/p99, goodput under an SLO, tail amplification);
+* :mod:`repro.serving.cli` is ``python -m repro serve``.
+
+Campaigns sweep serving cells through
+:func:`repro.campaign.serving_grid`, and
+``experiments/serving_comparison.py`` replays the paper's six-design
+comparison under rising load until SLO collapse.
+"""
+
+from repro.serving.batcher import BatchPolicy, form_batches, next_batch
+from repro.serving.server import (BatchLatencyModel, CompletedRequest,
+                                  ServingLedger, compute_stats,
+                                  percentile, run_continuous,
+                                  run_dynamic, simulate_serving)
+from repro.serving.traces import (Request, mmpp_trace, poisson_trace,
+                                  replayed_trace)
+
+__all__ = [
+    "BatchLatencyModel", "BatchPolicy", "CompletedRequest", "Request",
+    "ServingLedger", "compute_stats", "form_batches", "mmpp_trace",
+    "next_batch", "percentile", "poisson_trace", "replayed_trace",
+    "run_continuous", "run_dynamic", "simulate_serving",
+]

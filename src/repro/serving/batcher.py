@@ -1,0 +1,90 @@
+"""Dynamic batching policy and batch formation.
+
+A :class:`BatchPolicy` is the classic serving trade-off knob: a batch
+dispatches when it reaches ``max_batch`` requests or when the oldest
+queued request has waited ``max_wait`` seconds, whichever comes first
+(and never before a server is free).  :func:`next_batch` is the pure
+decision function -- the server loop in :mod:`repro.serving.server`
+and the property-based tests both drive it -- and
+:func:`form_batches` folds a whole trace into batches against a single
+server, which is the behaviour the FIFO/no-loss invariants are stated
+over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.serving.traces import Request
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Max-batch-size + max-wait-deadline dynamic batching."""
+
+    max_batch: int = 8
+    max_wait: float = 0.002  # seconds
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return f"b{self.max_batch}w{self.max_wait * 1e3:g}ms"
+
+
+def next_batch(queue: Sequence[Request], start: int, free_at: float,
+               policy: BatchPolicy) -> tuple[int, float]:
+    """Decide the next batch from FIFO position ``start``.
+
+    Returns ``(count, dispatch_time)``: the batch takes requests
+    ``queue[start:start + count]`` and starts service at
+    ``dispatch_time``.  The batch closes at the earliest of (a) the
+    ``max_batch``-th arrival, (b) the head request's deadline
+    ``arrival + max_wait``, or (c) immediately, if the server only
+    freed up after that deadline passed -- every request that arrived
+    while the server was busy is already waiting then.
+    """
+    head = queue[start].arrival
+    earliest = max(free_at, head)
+    limit = min(len(queue) - start, policy.max_batch)
+
+    # Requests already waiting when service could begin.
+    count = 0
+    while count < limit and queue[start + count].arrival <= earliest:
+        count += 1
+    if count == limit:
+        return count, earliest
+
+    deadline = head + policy.max_wait
+    if earliest >= deadline:
+        return count, earliest
+
+    # Hold the batch open for late arrivals until full or deadline.
+    while count < limit and queue[start + count].arrival <= deadline:
+        count += 1
+    if count == limit and count == policy.max_batch:
+        return count, max(earliest, queue[start + count - 1].arrival)
+    return count, deadline
+
+
+def form_batches(trace: Sequence[Request],
+                 policy: BatchPolicy) -> list[tuple[int, int, float]]:
+    """Partition a trace into batches against one always-on server.
+
+    Returns ``(start, count, dispatch)`` triples in FIFO order,
+    assuming zero service time (pure batch formation).  The server
+    loop re-derives dispatch times with real service times; this
+    helper exists so batching invariants can be tested in isolation.
+    """
+    batches = []
+    index = 0
+    while index < len(trace):
+        count, dispatch = next_batch(trace, index, 0.0, policy)
+        batches.append((index, count, dispatch))
+        index += count
+    return batches

@@ -1,0 +1,109 @@
+"""Request-arrival trace generation.
+
+Three arrival models, all seeded and fully deterministic (the campaign
+cache requires byte-identical replay):
+
+* :func:`poisson_trace` -- memoryless arrivals at a fixed rate, the
+  classic open-loop serving assumption;
+* :func:`mmpp_trace` -- a two-state Markov-modulated Poisson process
+  alternating between a quiet and a bursty rate, the diurnal/bursty
+  traffic shape that exposes queueing tails a steady Poisson hides;
+* :func:`replayed_trace` -- explicit arrival offsets (e.g. replayed
+  from a production log).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request."""
+
+    rid: int
+    arrival: float
+    #: Autoregressive decode steps (continuous batching only; the
+    #: dynamic batcher serves each request in a single forward pass).
+    decode_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival time must be non-negative")
+        if self.decode_steps < 1:
+            raise ValueError("decode_steps must be >= 1")
+
+
+def poisson_trace(rate: float, n_requests: int, seed: int = 0,
+                  decode_steps: int = 1) -> tuple[Request, ...]:
+    """Poisson arrivals at ``rate`` requests/sec."""
+    _check(rate, n_requests)
+    rng = random.Random(seed)
+    t = 0.0
+    requests = []
+    for rid in range(n_requests):
+        t += rng.expovariate(rate)
+        requests.append(Request(rid=rid, arrival=t,
+                                decode_steps=decode_steps))
+    return tuple(requests)
+
+
+def mmpp_trace(rate: float, n_requests: int, seed: int = 0,
+               burst_ratio: float = 4.0, dwell: float = 0.25,
+               decode_steps: int = 1) -> tuple[Request, ...]:
+    """Two-state MMPP arrivals averaging ``rate`` requests/sec.
+
+    The process alternates between a bursty state at
+    ``2 * rate * b / (b + 1)`` and a quiet state at
+    ``2 * rate / (b + 1)`` (``b = burst_ratio``), so equal expected
+    dwell in each state yields a time-average of exactly ``rate``.
+    State residency is exponential with mean ``dwell`` seconds.
+    """
+    _check(rate, n_requests)
+    if burst_ratio < 1.0:
+        raise ValueError("burst_ratio must be >= 1")
+    if dwell <= 0:
+        raise ValueError("dwell must be positive")
+    rng = random.Random(seed)
+    rates = (2.0 * rate / (burst_ratio + 1.0),
+             2.0 * rate * burst_ratio / (burst_ratio + 1.0))
+    state = rng.randrange(2)
+    t = 0.0
+    switch_at = rng.expovariate(1.0 / dwell)
+    requests = []
+    rid = 0
+    while rid < n_requests:
+        gap = rng.expovariate(rates[state])
+        if t + gap >= switch_at:
+            # The state flips before this arrival would land; restart
+            # the (memoryless) draw from the switch instant.
+            t = switch_at
+            switch_at = t + rng.expovariate(1.0 / dwell)
+            state = 1 - state
+            continue
+        t += gap
+        requests.append(Request(rid=rid, arrival=t,
+                                decode_steps=decode_steps))
+        rid += 1
+    return tuple(requests)
+
+
+def replayed_trace(arrivals: Iterable[float],
+                   decode_steps: int = 1) -> tuple[Request, ...]:
+    """Requests at explicit arrival offsets (seconds, sorted)."""
+    times = list(arrivals)
+    if not times:
+        raise ValueError("a replayed trace needs at least one arrival")
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise ValueError("replayed arrivals must be non-decreasing")
+    return tuple(Request(rid=i, arrival=t, decode_steps=decode_steps)
+                 for i, t in enumerate(times))
+
+
+def _check(rate: float, n_requests: int) -> None:
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if n_requests <= 0:
+        raise ValueError("need at least one request")

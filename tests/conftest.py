@@ -1,0 +1,68 @@
+"""Shared test fixtures: golden-snapshot comparison machinery.
+
+``pytest --update-golden`` refreshes every ``tests/golden/*.json``
+snapshot instead of asserting against it; a normal run compares each
+experiment's key scalars against the committed snapshot so refactors
+cannot silently drift the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Relative tolerance for float comparison: tight enough to catch any
+#: modelling change, loose enough to survive benign float-summation
+#: reorderings across Python versions.
+GOLDEN_RTOL = 1e-9
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json snapshots from the current "
+             "code instead of asserting against them")
+
+
+class GoldenComparator:
+    """Loads, compares, and (on demand) rewrites golden snapshots."""
+
+    def __init__(self, update: bool) -> None:
+        self.update = update
+
+    def check(self, name: str, scalars: dict) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        if self.update:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(scalars, indent=2,
+                                       sort_keys=True) + "\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden snapshot {path.name}; run "
+                f"`pytest --update-golden` once and commit the file")
+        golden = json.loads(path.read_text())
+        assert sorted(golden) == sorted(scalars), (
+            f"{name}: scalar key set changed; rerun --update-golden "
+            f"if intentional")
+        for key in sorted(golden):
+            expected, actual = golden[key], scalars[key]
+            if isinstance(expected, float) and isinstance(actual, float):
+                assert actual == pytest.approx(expected,
+                                               rel=GOLDEN_RTOL), (
+                    f"{name}[{key}] drifted: "
+                    f"golden {expected!r} != current {actual!r}")
+            else:
+                assert actual == expected, (
+                    f"{name}[{key}] drifted: "
+                    f"golden {expected!r} != current {actual!r}")
+
+
+@pytest.fixture(scope="session")
+def golden(request) -> GoldenComparator:
+    return GoldenComparator(
+        update=request.config.getoption("--update-golden"))

@@ -1,0 +1,214 @@
+"""Serving cells in the campaign engine: grid, cache, CLI, hash seeds."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (CampaignPoint, ResultCache, run_campaign,
+                            serving_grid)
+from repro.campaign.cli import main as campaign_cli
+from repro.campaign.points import canonicalize
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def small_serving_grid():
+    return serving_grid(("DC-DLA", "MC-DLA(B)"), ("GPT2",),
+                        (200.0, 800.0), n_requests=64)
+
+
+class TestServingGrid:
+    def test_shape_and_labels_unique(self):
+        points = small_serving_grid()
+        assert len(points) == 2 * 2
+        labels = {p.label for p in points}
+        assert len(labels) == len(points)
+        assert all(p.is_serving for p in points)
+
+    def test_serving_knobs_in_describe(self):
+        point = small_serving_grid()[0]
+        description = point.describe()
+        served = dict(point.serving)
+        assert description["serving"]
+        assert served["rate"] == 200.0
+        assert served["slo"] == 0.05
+
+    def test_non_serving_point_not_serving(self):
+        assert not CampaignPoint("DC-DLA", "AlexNet").is_serving
+
+    def test_batch_policies_axis(self):
+        points = serving_grid(("DC-DLA",), ("GPT2",), (100.0,),
+                              batch_policies=((4, 1.0), (16, 5.0)))
+        assert len(points) == 2
+        assert {dict(p.serving)["max_batch"] for p in points} == {4, 16}
+
+
+class TestServingCampaign:
+    def test_serial_pool_and_replay_byte_identical(self, tmp_path):
+        points = small_serving_grid()
+        cache = ResultCache(tmp_path / "cache")
+        serial = run_campaign(points).raise_failures()
+        pooled = run_campaign(points, jobs=2,
+                              cache=cache).raise_failures()
+        replayed = run_campaign(points, cache=cache).raise_failures()
+        assert replayed.cached_count == len(points)
+        for a, b, c in zip(serial.outcomes, pooled.outcomes,
+                           replayed.outcomes):
+            assert a.result == b.result == c.result
+            assert a.result.serving is not None
+
+    def test_mixed_training_and_serving_campaign(self):
+        from repro.campaign import grid
+        points = grid(("DC-DLA",), ("AlexNet",)) + small_serving_grid()
+        report = run_campaign(points).raise_failures()
+        modes = [o.result.mode.value for o in report.outcomes]
+        assert modes.count("training") == 1
+        assert modes.count("serving") == 4
+
+    def test_cli_serving_axis_json(self, tmp_path, capsys):
+        out = tmp_path / "serving.json"
+        code = campaign_cli([
+            "--designs", "MC-DLA(B)", "--networks", "GPT2",
+            "--strategies", "data", "--arrival-rates", "200",
+            "--slo-ms", "50", "--batch-policies", "8x2",
+            "--requests", "64", "--no-cache", "--quiet",
+            "--format", "json", "-o", str(out)])
+        assert code == 0
+        rows = json.loads(out.read_text())
+        serving_rows = [r for r in rows if r["mode"] == "serving"]
+        assert len(serving_rows) == 1
+        row = serving_rows[0]
+        assert row["serving"]["n_requests"] == 64
+        assert row["latency_p99"] >= row["latency_p50"] > 0
+        assert row["goodput"] > 0
+
+    def test_cli_rejects_bad_policy(self, capsys):
+        code = campaign_cli([
+            "--designs", "DC-DLA", "--networks", "GPT2",
+            "--arrival-rates", "100", "--batch-policies", "eight"])
+        assert code == 2
+        assert "bad axis value" in capsys.readouterr().err
+
+    def test_cli_rejects_continuous_on_non_transformers(self, capsys):
+        code = campaign_cli([
+            "--designs", "DC-DLA", "--networks", "AlexNet,GPT2",
+            "--arrival-rates", "100", "--batcher", "continuous"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "continuous" in err and "AlexNet" in err
+
+    def test_cli_table_shows_serving_metrics(self, capsys):
+        code = campaign_cli([
+            "--designs", "MC-DLA(B)", "--networks", "GPT2",
+            "--strategies", "data", "--arrival-rates", "200",
+            "--requests", "64", "--no-cache", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99 (ms)" in out and "SLO att." in out
+        assert "req/s" in out
+
+    def test_continuous_wait_axis_collapses(self):
+        points = serving_grid(("MC-DLA(B)",), ("GPT2",), (100.0,),
+                              batch_policies=((8, 1.0), (8, 10.0)),
+                              batcher="continuous")
+        assert len(points) == 1
+        assert dict(points[0].serving)["max_wait"] == 0.0
+
+    def test_continuous_stats_report_zero_wait(self):
+        from repro.core.design_points import design_point
+        from repro.serving import simulate_serving
+        result = simulate_serving(
+            design_point("MC-DLA(B)"), "GPT2", rate=20.0,
+            n_requests=16, batcher="continuous", decode_steps=4,
+            max_wait=0.010)
+        assert result.serving.max_wait == 0.0
+
+
+class TestHashSeedDeterminism:
+    """The cache key must not depend on ``PYTHONHASHSEED``.
+
+    ``canonicalize`` used to fall back to ``repr`` for sets, whose
+    iteration order follows the process hash seed -- two runs of the
+    same campaign could then key the same cell differently and never
+    share cache entries.
+    """
+
+    def test_canonicalize_sorts_sets(self):
+        image_a = canonicalize({"b", "a", "c", "long-string-1"})
+        image_b = canonicalize({"long-string-1", "c", "a", "b"})
+        assert image_a == image_b
+        assert image_a == {"__set__": ['"a"', '"b"', '"c"',
+                                       '"long-string-1"']} \
+            or image_a["__set__"] == sorted(image_a["__set__"])
+
+    def test_canonicalize_frozenset_and_nested(self):
+        nested = {"k": frozenset({3, 1, 2})}
+        assert canonicalize(nested) == canonicalize(
+            {"k": frozenset({2, 3, 1})})
+
+    def test_cache_key_stable_across_hash_seeds(self, tmp_path):
+        """Regression: run the key derivation under two different
+        ``PYTHONHASHSEED`` values and demand identical digests."""
+        script = (
+            "import json\n"
+            "from repro.campaign import CampaignPoint, ResultCache\n"
+            "from repro.campaign.cache import code_fingerprint\n"
+            "point = CampaignPoint('MC-DLA(B)', 'GPT2',\n"
+            "    overrides=(('tags', frozenset({'a', 'b', 'c'})),),\n"
+            "    serving=(('rate', 200.0), ('seed', 1)))\n"
+            "cache = ResultCache('unused', code_version='pinned')\n"
+            "print(json.dumps([\n"
+            "    cache.key(point.describe(), 'factory'),\n"
+            "    code_fingerprint()]))\n"
+        )
+        digests = []
+        for seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH=SRC)
+            proc = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True)
+            digests.append(json.loads(proc.stdout))
+        assert digests[0] == digests[1]
+
+
+class TestServingComparisonExperiment:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.experiments.serving_comparison import (
+            run_serving_comparison)
+        return run_serving_comparison(rates=(200.0, 800.0, 1600.0),
+                                      n_requests=128)
+
+    def test_all_cells_present(self, study):
+        from repro.core.design_points import DESIGN_ORDER
+        assert set(study.stats) == {(d, r) for d in DESIGN_ORDER
+                                    for r in study.rates}
+
+    def test_memory_centric_beats_dc_baseline_at_knee(self, study):
+        """The acceptance criterion: every MC design sustains strictly
+        higher goodput at its SLO knee than the DC baseline."""
+        from repro.experiments.serving_comparison import MC_DESIGNS
+        dc = study.knee_goodput("DC-DLA")
+        for design in MC_DESIGNS:
+            assert study.knee_goodput(design) > dc
+
+    def test_oracle_upper_bounds_everyone(self, study):
+        for rate in study.rates:
+            oracle = study.at("DC-DLA(O)", rate)
+            for design in ("DC-DLA", "MC-DLA(B)"):
+                assert study.at(design, rate).latency_p50 \
+                    >= oracle.latency_p50 - 1e-12
+
+    def test_format_mentions_knee(self, study):
+        from repro.experiments.serving_comparison import (
+            format_serving_comparison)
+        text = format_serving_comparison(study)
+        assert "SLO knee per design" in text
+        assert "goodput" in text

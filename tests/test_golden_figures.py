@@ -1,0 +1,179 @@
+"""Golden regression snapshots of every paper figure/table experiment.
+
+Each test folds one experiment's result object into a flat dict of key
+scalars (the numbers the paper's claims hang on) and compares it
+against ``tests/golden/<name>.json``.  Refresh intentionally with
+``pytest --update-golden`` and review the diff like any other code
+change -- these snapshots are the contract that refactors preserve the
+reproduction's physics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_points import DESIGN_ORDER
+from repro.dnn.registry import BENCHMARK_NAMES, CNN_NAMES
+from repro.experiments.matrix import evaluation_matrix
+from repro.training.parallel import ParallelStrategy
+from repro.units import MB
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return evaluation_matrix(512)
+
+
+def test_fig2_golden(golden):
+    from repro.experiments.fig2_motivation import run_fig2
+    result = run_fig2()
+    scalars = {}
+    for network in CNN_NAMES:
+        series = result.series(network)
+        scalars[f"{network}/speedup"] = result.generation_speedup(network)
+        newest = series[-1]
+        scalars[f"{network}/{newest.generation}/overhead"] = \
+            newest.overhead
+        scalars[f"{network}/{series[0].generation}/overhead"] = \
+            series[0].overhead
+    golden.check("fig2", scalars)
+
+
+def test_fig9_golden(golden):
+    from repro.collectives.ring_algorithm import Primitive
+    from repro.experiments.fig9_collectives import run_fig9
+    result = run_fig9()
+    scalars = {"mc_dla_overhead": result.mc_dla_overhead}
+    for primitive in Primitive:
+        for nodes in (8, 16, 36):
+            scalars[f"{primitive.value}/{nodes}"] = \
+                result.at(primitive, nodes)
+    golden.check("fig9", scalars)
+
+
+def test_fig10_golden(golden):
+    from repro.experiments.fig10_allocation import run_fig10
+    result = run_fig10()
+    scalars = {}
+    for point in result.points:
+        size = point.size_bytes // MB
+        scalars[f"{size}MiB/local_ms"] = point.latency_local * 1e3
+        scalars[f"{size}MiB/bw_aware_ms"] = point.latency_bw_aware * 1e3
+        scalars[f"{size}MiB/speedup"] = point.speedup
+        scalars[f"{size}MiB/skew"] = point.placement_skew
+    golden.check("fig10", scalars)
+
+
+@pytest.mark.parametrize("strategy,label", [
+    (ParallelStrategy.DATA, "data"),
+    (ParallelStrategy.MODEL, "model"),
+])
+def test_fig11_golden(golden, matrix, strategy, label):
+    from repro.experiments.fig11_breakdown import run_fig11
+    result = run_fig11(strategy, matrix)
+    scalars = {
+        "hc_vmem_reduction": result.hc_dla_vmem_reduction(),
+        "hc_sync_increase": result.hc_dla_sync_increase(),
+        "dc_vmem_bound_count": result.vmem_bound_count("DC-DLA"),
+    }
+    for design in DESIGN_ORDER:
+        raw = result.raw[("VGG-E", design)]
+        scalars[f"VGG-E/{design}/compute"] = raw.compute
+        scalars[f"VGG-E/{design}/sync"] = raw.sync
+        scalars[f"VGG-E/{design}/vmem"] = raw.vmem
+    golden.check(f"fig11_{label}", scalars)
+
+
+def test_fig12_golden(golden, matrix):
+    from repro.experiments.fig12_cpu_bandwidth import (FIG12_DESIGNS,
+                                                      run_fig12)
+    result = run_fig12(matrix)
+    scalars = {}
+    for design in FIG12_DESIGNS:
+        scalars[f"{design}/worst_fraction"] = \
+            result.worst_case_fraction(design)
+        bar = result.bar(design, "VGG-E")
+        scalars[f"{design}/VGG-E/avg_dp"] = bar.avg_data_gbps
+        scalars[f"{design}/VGG-E/avg_mp"] = bar.avg_model_gbps
+        scalars[f"{design}/VGG-E/max"] = bar.max_gbps
+    golden.check("fig12", scalars)
+
+
+def test_fig13_golden(golden, matrix):
+    from repro.experiments.fig13_performance import run_fig13
+    result = run_fig13(512, matrix)
+    lo, mean, hi = result.oracle_fraction_range()
+    scalars = {
+        "mcb_speedup_dp": result.mean_speedup("MC-DLA(B)",
+                                              ParallelStrategy.DATA),
+        "mcb_speedup_mp": result.mean_speedup("MC-DLA(B)",
+                                              ParallelStrategy.MODEL),
+        "mcb_speedup_overall": result.mean_speedup("MC-DLA(B)"),
+        "hc_speedup_dp": result.mean_speedup("HC-DLA",
+                                             ParallelStrategy.DATA),
+        "hc_speedup_mp": result.mean_speedup("HC-DLA",
+                                             ParallelStrategy.MODEL),
+        "oracle_fraction_lo": lo,
+        "oracle_fraction_mean": mean,
+        "oracle_fraction_hi": hi,
+        "local_vs_bw": (result.mean_speedup("MC-DLA(L)")
+                        / result.mean_speedup("MC-DLA(B)")),
+    }
+    for design in DESIGN_ORDER:
+        scalars[f"AlexNet/dp/{design}"] = result.perf(
+            ParallelStrategy.DATA, "AlexNet", design)
+    golden.check("fig13", scalars)
+
+
+def test_fig14_golden(golden):
+    from repro.experiments.fig14_batch_sensitivity import run_fig14
+    result = run_fig14()
+    scalars = {"overall_mean": result.overall_mean}
+    for batch in result.batches:
+        scalars[f"b{batch}/dp"] = result.batch_mean(
+            batch, ParallelStrategy.DATA)
+        scalars[f"b{batch}/mp"] = result.batch_mean(
+            batch, ParallelStrategy.MODEL)
+    for network in BENCHMARK_NAMES:
+        scalars[f"b512x2048/{network}"] = result.speedup(
+            2048, ParallelStrategy.DATA, network)
+    golden.check("fig14", scalars)
+
+
+def test_tab4_golden(golden, matrix):
+    from repro.experiments.fig13_performance import run_fig13
+    from repro.experiments.tab4_power import run_tab4
+    result = run_tab4(run_fig13(512, matrix))
+    scalars = {
+        "measured_speedup": result.measured_speedup,
+        "perf_per_watt_low_power": result.perf_per_watt_low_power,
+        "perf_per_watt_high_capacity":
+            result.perf_per_watt_high_capacity,
+        "pool_capacity_tb": result.pool_capacity_tb,
+    }
+    for report in result.reports:
+        scalars[f"{report.dimm.name}/node_tdp_w"] = report.node_tdp_w
+        scalars[f"{report.dimm.name}/gb_per_watt"] = \
+            report.node_gb_per_watt
+        scalars[f"{report.dimm.name}/system_overhead"] = \
+            report.system_overhead
+    golden.check("tab4", scalars)
+
+
+def test_serving_golden(golden):
+    """The new subsystem earns a snapshot too: the SLO-knee summary of
+    a reduced serving ladder must stay put."""
+    from repro.experiments.serving_comparison import (
+        run_serving_comparison)
+    study = run_serving_comparison(rates=(200.0, 1600.0),
+                                   n_requests=128)
+    scalars = {}
+    for design in DESIGN_ORDER:
+        for rate in study.rates:
+            s = study.at(design, rate)
+            scalars[f"{design}/{rate:g}/p99"] = s.latency_p99
+            scalars[f"{design}/{rate:g}/goodput"] = s.goodput
+            scalars[f"{design}/{rate:g}/attainment"] = s.slo_attainment
+    golden.check("serving", scalars)
