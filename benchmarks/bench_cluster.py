@@ -1,0 +1,56 @@
+"""Benchmark: the cluster comparison -- policies x designs, one pool.
+
+Runs the scheduler study through the shared campaign cache and emits
+the reproduction table: at equal pool capacity every memory-centric
+design out-schedules the device-centric baseline on tail JCT and job
+throughput, and the scheduling policy only narrows the gap.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.cluster_comparison import (
+    MC_DESIGNS, format_cluster_comparison, run_cluster_comparison)
+
+
+def test_cluster_comparison(benchmark):
+    study = benchmark.pedantic(run_cluster_comparison, rounds=1,
+                               iterations=1)
+    emit("Cluster: scheduling policies x designs over a shared pool",
+         format_cluster_comparison(study))
+    for policy in study.policies:
+        dc = study.at("DC-DLA", policy)
+        for design in MC_DESIGNS:
+            assert study.at(design, policy).jct_p95 < dc.jct_p95
+            assert study.throughput_gain(design, policy) > 1.0
+
+
+def test_cluster_preemption_tradeoff(benchmark):
+    """Preemption converts head-of-line blocking into checkpoint
+    traffic: mean queueing drops, the preemption ledger fills."""
+    from repro.cluster import simulate_cluster
+    from repro.core.design_points import design_point
+    from repro.units import TB
+
+    def run():
+        config = design_point("DC-DLA")
+        kwargs = dict(policy="fifo", job_mix="balanced", n_jobs=20,
+                      seed=0, arrival_rate=0.05, pool_capacity=1 * TB)
+        return (simulate_cluster(config, **kwargs).cluster,
+                simulate_cluster(config, preempt_after=120.0,
+                                 **kwargs).cluster)
+
+    blocked, preempting = benchmark.pedantic(run, rounds=1,
+                                             iterations=1)
+    from repro.experiments.report import format_table
+    rows = [[label, f"{s.queue_delay_mean:.1f}", f"{s.jct_p95:.1f}",
+             s.preemptions, f"{s.checkpoint_bytes / 1e9:.1f}"]
+            for label, s in (("fifo", blocked),
+                             ("fifo+preempt", preempting))]
+    emit("Cluster preemption: queueing vs checkpoint traffic",
+         format_table(["scheduler", "wait (s)", "JCT p95 (s)",
+                       "evictions", "ckpt GB"], rows,
+                      title="DC-DLA, balanced mix, 1 TiB pool"))
+    assert preempting.queue_delay_mean < blocked.queue_delay_mean
+    assert preempting.preemptions > 0

@@ -102,6 +102,12 @@ def _serving() -> str:
     return format_serving_comparison(run_serving_comparison())
 
 
+def _fleet() -> str:
+    from repro.experiments.cluster_comparison import (
+        format_cluster_comparison, run_cluster_comparison)
+    return format_cluster_comparison(run_cluster_comparison())
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig2": ("Figure 2: device generations vs PCIe overhead", _fig2),
     "fig9": ("Figure 9: ring collective latency", _fig9),
@@ -120,6 +126,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
                  "transformers", _pipeline),
     "serving": ("Inference serving: six designs under rising load "
                 "until SLO collapse", _serving),
+    "fleet": ("Cluster fleet: scheduling policies x designs over a "
+              "shared memory pool", _fleet),
 }
 
 
@@ -129,6 +137,7 @@ def _trace_main(argv: list[str]) -> int:
     from repro.core.simulator import iteration_timeline
     from repro.core.trace import engine_utilization, to_chrome_trace
     from repro.dnn.registry import WORKLOAD_NAMES
+    from repro.naming import resolve_design, resolve_network
     from repro.training.parallel import ParallelStrategy
 
     strategies = {"data": ParallelStrategy.DATA,
@@ -138,7 +147,9 @@ def _trace_main(argv: list[str]) -> int:
         prog="python -m repro trace",
         description="Write the Chrome/Perfetto trace JSON of one "
                     "simulated training iteration.")
-    parser.add_argument("design", help=f"one of {', '.join(DESIGN_ORDER)}")
+    parser.add_argument("design",
+                        help=f"one of {', '.join(DESIGN_ORDER)} "
+                             f"(aliases accepted, e.g. mc-hbm)")
     parser.add_argument("network",
                         help=f"one of {', '.join(WORKLOAD_NAMES)}")
     parser.add_argument("--batch", type=int, default=512,
@@ -151,18 +162,16 @@ def _trace_main(argv: list[str]) -> int:
                              "design/network/strategy)")
     args = parser.parse_args(argv)
 
-    if args.design not in DESIGN_ORDER:
-        print(f"unknown design point {args.design!r}; known: "
-              f"{', '.join(DESIGN_ORDER)}", file=sys.stderr)
-        return 2
-    if args.network not in WORKLOAD_NAMES:
-        print(f"unknown network {args.network!r}; known: "
-              f"{', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
+    try:
+        design = resolve_design(args.design)
+        network = resolve_network(args.network)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
         return 2
 
     strategy = strategies[args.strategy]
-    config = design_point(args.design)
-    timeline = iteration_timeline(config, args.network, args.batch,
+    config = design_point(design)
+    timeline = iteration_timeline(config, network, args.batch,
                                   strategy)
     text = to_chrome_trace(
         timeline, include_bubbles=strategy is ParallelStrategy.PIPELINE)
@@ -170,7 +179,7 @@ def _trace_main(argv: list[str]) -> int:
     path = args.output
     if path is None:
         slug = "".join(c if c.isalnum() else "-" for c in
-                       f"{args.design}-{args.network}-{args.strategy}")
+                       f"{design}-{network}-{args.strategy}")
         path = f"{slug.lower()}.trace.json"
     with open(path, "w") as handle:
         handle.write(text)
@@ -189,6 +198,7 @@ def main(argv: list[str] | None = None) -> int:
         print("usage: python -m repro <experiment|all>")
         print("       python -m repro campaign [options]")
         print("       python -m repro serve [options]")
+        print("       python -m repro cluster [options]")
         print("       python -m repro trace <design> <network> [options]")
         print("experiments:")
         for key, (title, _) in EXPERIMENTS.items():
@@ -197,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
               "(--help for options)")
         print("  serve        one serving simulation: latency "
               "percentiles, goodput, SLO (--help for options)")
+        print("  cluster      one multi-job cluster simulation: JCT, "
+              "queueing, pool utilization (--help for options)")
         print("  trace        Chrome/Perfetto trace of one iteration "
               "(--help for options)")
         return 0
@@ -208,6 +220,10 @@ def main(argv: list[str] | None = None) -> int:
     if args[0] == "serve":
         from repro.serving.cli import main as serve_main
         return serve_main(args[1:])
+
+    if args[0] == "cluster":
+        from repro.cluster.cli import main as cluster_main
+        return cluster_main(args[1:])
 
     if args[0] == "trace":
         return _trace_main(args[1:])

@@ -24,7 +24,8 @@ import sys
 import time
 
 from repro.campaign.cache import ResultCache, default_cache_dir
-from repro.campaign.points import grid, pipeline_grid, serving_grid
+from repro.campaign.points import (cluster_grid, grid, pipeline_grid,
+                                   serving_grid)
 from repro.campaign.runner import CampaignReport, CellOutcome, run_campaign
 from repro.core.design_points import DESIGN_ORDER
 from repro.dnn.registry import (BENCHMARK_NAMES, TRANSFORMER_NAMES,
@@ -46,7 +47,8 @@ _CSV_FIELDS = (
     "offload_bytes_per_device", "sync_bytes",
     "host_traffic_bytes_per_device", "fits_in_device_memory",
     "bubble_fraction", "mode", "latency_p50", "latency_p95",
-    "latency_p99", "goodput", "slo_attainment", "cached",
+    "latency_p99", "goodput", "slo_attainment", "jct_p50", "jct_p95",
+    "queue_delay_mean", "pool_utilization", "preemptions", "cached",
 )
 
 
@@ -118,7 +120,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests per serving cell (default: 512)")
     parser.add_argument(
         "--seed", type=int, default=0,
-        help="arrival-trace seed for serving cells (default: 0)")
+        help="arrival-trace seed for serving and cluster cells "
+             "(default: 0)")
+    parser.add_argument(
+        "--policies", default="",
+        help="comma-separated cluster scheduling policies (fifo, sjf, "
+             "pool-fit, gang); non-empty adds cluster cells")
+    parser.add_argument(
+        "--job-mixes", default="balanced",
+        help="comma-separated cluster job mixes (default: balanced)")
+    parser.add_argument(
+        "--pool-oversub", default="1",
+        help="comma-separated pool oversubscription factors for "
+             "cluster cells (default: 1)")
+    parser.add_argument(
+        "--cluster-jobs", type=int, default=24,
+        help="jobs per cluster cell (default: 24)")
+    parser.add_argument(
+        "--pool-gb", type=float, default=None,
+        help="shared pool capacity per cluster cell, in GiB "
+             "(default: 128 GiB per fleet device)")
     parser.add_argument(
         "-j", "--jobs", type=int, default=1,
         help="worker processes; 1 runs serially, 0 uses every core")
@@ -181,6 +202,20 @@ def _rows(report: CampaignReport) -> list[dict]:
                                if result.serving is not None else None),
             "serving": (result.serving.to_dict()
                         if result.serving is not None else None),
+            "jct_p50": (result.cluster.jct_p50
+                        if result.cluster is not None else None),
+            "jct_p95": (result.cluster.jct_p95
+                        if result.cluster is not None else None),
+            "queue_delay_mean": (result.cluster.queue_delay_mean
+                                 if result.cluster is not None
+                                 else None),
+            "pool_utilization": (result.cluster.pool_utilization
+                                 if result.cluster is not None
+                                 else None),
+            "preemptions": (result.cluster.preemptions
+                            if result.cluster is not None else None),
+            "cluster": (result.cluster.to_dict()
+                        if result.cluster is not None else None),
             "cached": outcome.cached,
         })
     return rows
@@ -202,6 +237,7 @@ def _render(report: CampaignReport, fmt: str) -> str:
     from repro.experiments.report import format_table, percent
     table_rows = []
     has_serving = any(r["mode"] == "serving" for r in rows)
+    has_cluster = any(r["mode"] == "cluster" for r in rows)
     for r in rows:
         row = [r["design"], r["network"], r["batch"], r["strategy"]]
         if r["mode"] == "serving":
@@ -214,9 +250,24 @@ def _render(report: CampaignReport, fmt: str) -> str:
                 row += [r["latency_p99"] * 1e3,
                         f"{r['goodput']:.1f}",
                         percent(r["slo_attainment"])]
+            if has_cluster:
+                row += ["--", "--", "--"]
+        elif r["mode"] == "cluster":
+            # iteration_time holds the makespan; the fleet-level
+            # metrics live in the cluster object.
+            cluster = r["cluster"]
+            row += ["--", f"{cluster['throughput'] * 3600:.1f} jobs/h"]
+            if has_serving:
+                row += ["--", "--", "--"]
+            if has_cluster:
+                row += [f"{r['jct_p95']:.1f}s",
+                        f"{r['queue_delay_mean']:.1f}s",
+                        percent(r["pool_utilization"])]
         else:
             row += [r["iteration_time"] * 1e3, r["throughput"]]
             if has_serving:
+                row += ["--", "--", "--"]
+            if has_cluster:
                 row += ["--", "--", "--"]
         row.append("hit" if r["cached"] else "miss")
         table_rows.append(row)
@@ -224,6 +275,8 @@ def _render(report: CampaignReport, fmt: str) -> str:
                "samples/s"]
     if has_serving:
         headers += ["p99 (ms)", "goodput", "SLO att."]
+    if has_cluster:
+        headers += ["JCT p95", "wait", "pool util"]
     headers.append("cache")
     return format_table(headers, table_rows,
                         title=f"campaign: {len(rows)} cells")
@@ -286,6 +339,31 @@ def main(argv: list[str] | None = None) -> int:
                                    arrival=args.arrival,
                                    n_requests=args.requests,
                                    seed=args.seed)
+        if args.policies.strip():
+            from repro.cluster.jobs import JOB_MIX_NAMES
+            from repro.cluster.policies import POLICY_NAMES
+            from repro.units import GB
+            sched = _split(args.policies)
+            bad_policies = [p for p in sched if p not in POLICY_NAMES]
+            if bad_policies:
+                print(f"unknown policy(ies): "
+                      f"{', '.join(bad_policies)}; known: "
+                      f"{', '.join(POLICY_NAMES)}", file=sys.stderr)
+                return 2
+            mixes = _split(args.job_mixes)
+            bad_mixes = [m for m in mixes if m not in JOB_MIX_NAMES]
+            if bad_mixes:
+                print(f"unknown job mix(es): {', '.join(bad_mixes)}; "
+                      f"known: {', '.join(JOB_MIX_NAMES)}",
+                      file=sys.stderr)
+                return 2
+            oversub = [float(v) for v in _split(args.pool_oversub)]
+            points += cluster_grid(
+                designs, policies=sched, job_mixes=mixes,
+                oversubscription=oversub, n_jobs=args.cluster_jobs,
+                seed=args.seed,
+                pool_capacity=(int(args.pool_gb * GB)
+                               if args.pool_gb is not None else None))
     except (ValueError, KeyError) as exc:
         print(f"bad axis value: {exc}", file=sys.stderr)
         return 2

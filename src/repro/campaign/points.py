@@ -47,20 +47,32 @@ class CampaignPoint:
     #: (as sorted pairs).  Non-empty turns this cell into a serving
     #: simulation instead of a training iteration.
     serving: Overrides = ()
+    #: Keyword arguments for :func:`repro.cluster.simulate_cluster`
+    #: (as sorted pairs).  Non-empty turns this cell into a cluster
+    #: simulation instead of a training iteration.
+    cluster: Overrides = ()
 
     def __post_init__(self) -> None:
         if self.batch <= 0:
             raise ValueError("batch must be positive")
+        if self.serving and self.cluster:
+            raise ValueError("a point is serving or cluster, not both")
         object.__setattr__(self, "overrides",
                            tuple(sorted(self.overrides)))
         object.__setattr__(self, "replacements",
                            tuple(sorted(self.replacements)))
         object.__setattr__(self, "serving",
                            tuple(sorted(self.serving)))
+        object.__setattr__(self, "cluster",
+                           tuple(sorted(self.cluster)))
 
     @property
     def is_serving(self) -> bool:
         return bool(self.serving)
+
+    @property
+    def is_cluster(self) -> bool:
+        return bool(self.cluster)
 
     @property
     def name(self) -> str:
@@ -90,6 +102,7 @@ class CampaignPoint:
             "overrides": canonicalize(self.overrides),
             "replacements": canonicalize(self.replacements),
             "serving": canonicalize(self.serving),
+            "cluster": canonicalize(self.cluster),
         }
 
 
@@ -179,6 +192,51 @@ def serving_grid(designs, networks, arrival_rates,
                             label=(f"{design}|{arrival}@{rate:g}rps"
                                    f"|slo{slo:g}ms"
                                    f"|b{max_batch}w{wait_ms:g}ms")))
+    return tuple(points)
+
+
+def cluster_grid(designs, policies=("fifo",), job_mixes=("balanced",),
+                 oversubscription=(1.0,), n_jobs: int = 24,
+                 seed: int = 0, arrival_rate: float = 0.02,
+                 fleet_devices: int = 16,
+                 pool_capacity: int | None = None,
+                 preempt_after: float | None = None) \
+        -> tuple[CampaignPoint, ...]:
+    """Cluster-scheduler cells: one point per (oversub, mix, policy,
+    design).
+
+    Every point's knobs ride in ``cluster`` (keyword arguments of
+    :func:`repro.cluster.simulate_cluster`), and the label encodes the
+    scheduler axes so variants of one design coexist in a campaign.
+    ``pool_capacity`` is shared by every cell -- the equal-capacity
+    comparison the pooling argument needs.
+    """
+    points = []
+    for oversub in oversubscription:
+        for mix in job_mixes:
+            for policy in policies:
+                for design in designs:
+                    knobs = [
+                        ("arrival_rate", float(arrival_rate)),
+                        ("fleet_devices", fleet_devices),
+                        ("job_mix", mix),
+                        ("n_jobs", n_jobs),
+                        ("oversubscription", float(oversub)),
+                        ("policy", policy),
+                        ("seed", seed),
+                    ]
+                    if pool_capacity is not None:
+                        knobs.append(("pool_capacity", pool_capacity))
+                    if preempt_after is not None:
+                        knobs.append(("preempt_after",
+                                      float(preempt_after)))
+                    points.append(CampaignPoint(
+                        design=design, network=f"mix:{mix}",
+                        batch=n_jobs,
+                        strategy=ParallelStrategy.DATA,
+                        cluster=tuple(knobs),
+                        label=(f"{design}|{policy}|{mix}"
+                               f"|os{oversub:g}")))
     return tuple(points)
 
 

@@ -105,6 +105,10 @@ def _simulate_cell(point: CampaignPoint,
         from repro.serving.server import simulate_serving
         result = simulate_serving(config, point.network,
                                   **dict(point.serving))
+    elif point.is_cluster:
+        # Imported lazily: repro.cluster depends on repro.core.
+        from repro.cluster.simulator import simulate_cluster
+        result = simulate_cluster(config, **dict(point.cluster))
     else:
         result = simulate(config, point.network, point.batch,
                           point.strategy)

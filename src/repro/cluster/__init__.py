@@ -1,0 +1,47 @@
+"""Multi-job cluster scheduling over a shared disaggregated pool.
+
+The paper argues memory-centric pooling pays off when *many*
+accelerators share capacity; every other harness in this repo runs one
+job at a time.  This package closes that gap with a deterministic,
+seeded discrete-event cluster simulator: a fleet of devices shares one
+MC-DLA memory pool while a queue of heterogeneous jobs -- training
+runs, pipeline gangs, and serving tenants -- arrives over time.
+
+* :mod:`repro.cluster.jobs` -- job specs and seeded job-mix streams;
+* :mod:`repro.cluster.oracle` -- prices each job's gang width, service
+  time, and pool reservation with one ``simulate()`` call;
+* :mod:`repro.cluster.pool` -- pool admission control,
+  oversubscription, and spill-slowdown pricing;
+* :mod:`repro.cluster.policies` -- FIFO, SJF, memory-pool-aware
+  best-fit, and gang scheduling with EASY backfill;
+* :mod:`repro.cluster.simulator` -- the event loop (arrivals,
+  completions, preemption with checkpoint/restore as pool traffic)
+  folding into :class:`repro.core.metrics.ClusterStats`;
+* :mod:`repro.cluster.cli` -- ``python -m repro cluster``.
+
+Campaigns sweep cluster cells through
+:func:`repro.campaign.cluster_grid`, and
+``experiments/cluster_comparison.py`` compares policies across all six
+designs at equal pool capacity.
+"""
+
+from repro.cluster.jobs import (JOB_MIX_NAMES, JobKind, JobSpec,
+                                generate_jobs)
+from repro.cluster.oracle import CostOracle, JobProfile
+from repro.cluster.policies import (POLICY_NAMES, QueueEntry, Release,
+                                    earliest_start, fits, select_next)
+from repro.cluster.pool import MemoryPool, spill_dilation, spill_penalty
+from repro.cluster.simulator import (DEFAULT_ARRIVAL_RATE,
+                                     DEFAULT_FLEET_DEVICES,
+                                     DEFAULT_JOBS,
+                                     DEFAULT_POOL_PER_DEVICE,
+                                     ClusterSimulator, simulate_cluster)
+
+__all__ = [
+    "CostOracle", "ClusterSimulator", "DEFAULT_ARRIVAL_RATE",
+    "DEFAULT_FLEET_DEVICES", "DEFAULT_JOBS", "DEFAULT_POOL_PER_DEVICE",
+    "JOB_MIX_NAMES", "JobKind", "JobProfile", "JobSpec", "MemoryPool",
+    "POLICY_NAMES", "QueueEntry", "Release", "earliest_start", "fits",
+    "generate_jobs", "select_next", "simulate_cluster",
+    "spill_dilation", "spill_penalty",
+]

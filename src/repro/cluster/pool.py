@@ -1,0 +1,115 @@
+"""The shared disaggregated memory pool: admission and spill pricing.
+
+The fleet's devices all carve their backing store out of one pooled
+capacity (the consolidated memory-node argument of Section III).  The
+pool is fungible at this level -- placement inside a node is
+:mod:`repro.vmem.allocator`'s job -- so admission control is pure
+capacity accounting:
+
+* a job may start only if its reservation fits under
+  ``capacity x oversubscription``;
+* reservations beyond the *physical* capacity are oversubscription:
+  the overflow fraction of every resident working set spills to the
+  slow tier (host DRAM over PCIe gen3 -- the device-centric baseline's
+  own virtualization path), and running jobs dilate accordingly.
+
+:func:`spill_dilation` prices that slowdown with the same vmem algebra
+the simulator uses: a job whose migration share of busy time is ``v``
+and whose pool channel is ``r`` times faster than the spill channel
+runs ``1 + f * v * (r - 1)`` slower when a fraction ``f`` of the pool
+has spilled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.oracle import JobProfile
+from repro.core.system import SystemConfig
+from repro.interconnect.link import PCIE_GEN3
+
+
+@dataclass
+class MemoryPool:
+    """Capacity accounting for the fleet's shared pool."""
+
+    capacity: int
+    oversubscription: float = 1.0
+    reserved: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription factor must be >= 1")
+        if self.reserved < 0:
+            raise ValueError("negative reservation")
+
+    @property
+    def limit(self) -> int:
+        """Admissible reservation ceiling (physical x oversub)."""
+        return int(self.capacity * self.oversubscription)
+
+    def fits(self, nbytes: int) -> bool:
+        return self.reserved + nbytes <= self.limit
+
+    def reserve(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("negative reservation")
+        if not self.fits(nbytes):
+            raise ValueError(
+                f"pool overcommitted: {self.reserved} + {nbytes} "
+                f"> limit {self.limit}")
+        self.reserved += nbytes
+
+    def release(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.reserved:
+            raise ValueError("releasing more than reserved")
+        self.reserved -= nbytes
+
+    @property
+    def overflow_fraction(self) -> float:
+        """Share of resident pages spilled past physical capacity."""
+        if self.reserved <= self.capacity:
+            return 0.0
+        return (self.reserved - self.capacity) / self.reserved
+
+    @property
+    def utilization(self) -> float:
+        """Physical occupancy in [0, 1] (overflow does not count)."""
+        return min(self.reserved, self.capacity) / self.capacity
+
+    @property
+    def pressure(self) -> float:
+        """Reservation over physical capacity; > 1 when oversubscribed."""
+        return self.reserved / self.capacity
+
+
+def spill_penalty(config: SystemConfig) -> float:
+    """How much slower the spill tier is than the design's pool.
+
+    ``peak_bw / spill_bw - 1``, floored at zero: the device-centric
+    baseline already virtualizes over PCIe, so spilling costs it
+    nothing extra, while the memory-centric designs fall off their
+    fast links.  Designs that never virtualize have no spill path.
+    """
+    if not config.virtualizes:
+        return 0.0
+    return max(0.0, config.vmem.channel.peak_bw / PCIE_GEN3.uni_bw
+               - 1.0)
+
+
+def spill_dilation(profile: JobProfile, overflow_fraction: float,
+                   penalty: float) -> float:
+    """Service-rate dilation of one running job, >= 1.
+
+    Only the job's migration share dilates; compute and collectives
+    are unaffected by where cold pages live.
+    """
+    if not 0.0 <= overflow_fraction <= 1.0:
+        raise ValueError("overflow fraction must lie in [0, 1]")
+    if penalty < 0:
+        raise ValueError("spill penalty must be >= 0")
+    if profile.pool_bytes == 0:
+        return 1.0
+    return 1.0 + overflow_fraction * profile.vmem_share * penalty

@@ -1,0 +1,428 @@
+"""The cluster's discrete-event loop: jobs x devices x shared pool.
+
+State advances between three event kinds -- job arrival, job
+completion, and preemption-patience expiry.  Between events every
+running job burns its remaining service at a piecewise-constant rate:
+``1`` normally, slower when the pool is oversubscribed and its
+overflow spills to the slow tier (:func:`repro.cluster.pool.
+spill_dilation`).  At each event the scheduler settles progress,
+releases finished jobs, admits arrivals, then repeatedly asks the
+policy (:func:`repro.cluster.policies.select_next`) for the next job
+to place until it declines.
+
+Preemption (``preempt_after``) evicts the newest preemptible running
+jobs to unblock a starved queue entry: each victim checkpoints its
+optimizer state into the pool and restores it when rescheduled, both
+priced as pool traffic on the design's virtualization channel and
+folded into the victim's remaining service.
+
+Everything is deterministic for a fixed seed: arrivals come from the
+seeded job generator, service times from the memoized cost oracle,
+and the loop itself draws no randomness -- two runs produce
+byte-identical :class:`~repro.core.metrics.ClusterStats` JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.cluster.jobs import JobSpec, generate_jobs
+from repro.cluster.oracle import CostOracle, JobProfile
+from repro.cluster.policies import (QueueEntry, Release, fits,
+                                    select_next)
+from repro.cluster.pool import MemoryPool, spill_dilation, spill_penalty
+from repro.core.metrics import (ClusterStats, ExecutionMode,
+                                LatencyBreakdown, SimulationResult,
+                                percentile)
+from repro.core.system import SystemConfig
+from repro.interconnect.link import PCIE_GEN3
+from repro.training.parallel import ParallelStrategy
+from repro.units import GB
+
+DEFAULT_FLEET_DEVICES = 16
+DEFAULT_JOBS = 24
+DEFAULT_ARRIVAL_RATE = 0.02  # jobs/sec
+#: Default shared-pool sizing when no explicit capacity is given.
+DEFAULT_POOL_PER_DEVICE = 128 * GB
+#: A job survives at most this many evictions, then becomes sticky.
+MAX_PREEMPTIONS_PER_JOB = 2
+
+_EPS = 1e-9
+
+
+@dataclass
+class _Pending:
+    profile: JobProfile
+    enqueued_at: float
+    remaining: float
+    preempted: int = 0
+
+
+@dataclass
+class _Running:
+    profile: JobProfile
+    remaining: float
+    started: float
+    preempted: int = 0
+    dilation: float = 1.0
+
+
+@dataclass
+class _Ledger:
+    """Integrals and counters folded into :class:`ClusterStats`."""
+
+    busy_device_seconds: float = 0.0
+    pool_util_seconds: float = 0.0
+    pool_pressure_seconds: float = 0.0
+    frag_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+    checkpoint_bytes: int = 0
+    preemptions: int = 0
+    peak_reserved: int = 0
+    finished: list = field(default_factory=list)  # (spec, first, end)
+    first_dispatch: dict = field(default_factory=dict)
+
+
+def estimated_wall_seconds(remaining: float, profile: JobProfile,
+                           pool: MemoryPool, penalty: float) -> float:
+    """Wall-clock estimate of a pending job's runtime if started now.
+
+    The base remaining service dilates by the spill overflow the job's
+    own reservation would create on top of the pool's current load --
+    so policies that reason about durations (SJF ordering, gang/EASY
+    backfill windows) compare wall-clock against wall-clock, and a
+    backfill candidate cannot sneak past the head gang's reservation
+    by quoting its undilated runtime.
+    """
+    projected = pool.reserved + profile.pool_bytes
+    if projected <= 0:
+        return remaining
+    overflow = max(0, projected - pool.capacity) / projected
+    return remaining * spill_dilation(profile, overflow, penalty)
+
+
+def _checkpoint_time(config: SystemConfig, nbytes: int) -> float:
+    """One checkpoint (or restore) DMA of a job's optimizer state."""
+    if nbytes == 0:
+        return 0.0
+    if config.virtualizes:
+        return config.vmem.transfer_time(nbytes)
+    return nbytes / PCIE_GEN3.uni_bw
+
+
+class ClusterSimulator:
+    """One fleet + pool + policy, ready to run a job stream."""
+
+    def __init__(self, config: SystemConfig, *, policy: str = "fifo",
+                 fleet_devices: int = DEFAULT_FLEET_DEVICES,
+                 pool_capacity: int | None = None,
+                 oversubscription: float = 1.0,
+                 preempt_after: float | None = None) -> None:
+        if fleet_devices < config.n_devices:
+            raise ValueError(
+                f"fleet of {fleet_devices} devices cannot host a "
+                f"{config.n_devices}-device node gang")
+        if preempt_after is not None and preempt_after <= 0:
+            raise ValueError("preempt_after must be positive")
+        if pool_capacity is None:
+            pool_capacity = fleet_devices * DEFAULT_POOL_PER_DEVICE
+        self.config = config
+        self.policy = policy
+        self.fleet_devices = fleet_devices
+        self.pool = MemoryPool(pool_capacity,
+                               oversubscription=oversubscription)
+        self.preempt_after = preempt_after
+        self.oracle = CostOracle(config)
+        self._penalty = spill_penalty(config)
+
+    # -- Pricing --------------------------------------------------------------
+
+    def _admissible(self, profile: JobProfile) -> JobProfile:
+        if profile.devices > self.fleet_devices:
+            raise ValueError(
+                f"job {profile.spec.jid} needs {profile.devices} "
+                f"devices; fleet has {self.fleet_devices}")
+        if profile.pool_bytes > self.pool.limit:
+            raise ValueError(
+                f"job {profile.spec.jid} reserves "
+                f"{profile.pool_bytes} pool bytes; limit is "
+                f"{self.pool.limit} (raise oversubscription or "
+                f"capacity)")
+        return profile
+
+    # -- The event loop -------------------------------------------------------
+
+    def run(self, jobs: Sequence[JobSpec]) -> tuple[_Ledger, float]:
+        """Drive the job stream to completion; returns the ledger and
+        the makespan."""
+        if not jobs:
+            raise ValueError("need at least one job")
+        stream = sorted(jobs, key=lambda j: (j.arrival, j.jid))
+        profiles = [self._admissible(self.oracle.profile(s))
+                    for s in stream]
+
+        t = 0.0
+        index = 0
+        pending: list[_Pending] = []
+        running: list[_Running] = []
+        free_devices = self.fleet_devices
+        ledger = _Ledger()
+
+        def refresh_dilation() -> None:
+            overflow = self.pool.overflow_fraction
+            for job in running:
+                job.dilation = spill_dilation(job.profile, overflow,
+                                              self._penalty)
+
+        def advance(until: float) -> None:
+            nonlocal t
+            dt = until - t
+            if dt < 0:
+                raise AssertionError("time went backwards")
+            if dt == 0:
+                t = until
+                return
+            busy = sum(j.profile.devices for j in running)
+            ledger.busy_device_seconds += busy * dt
+            ledger.pool_util_seconds += self.pool.utilization * dt
+            ledger.pool_pressure_seconds += self.pool.pressure * dt
+            if pending:
+                ledger.frag_seconds += \
+                    (free_devices / self.fleet_devices) * dt
+            for job in running:
+                job.remaining -= dt / job.dilation
+            t = until
+
+        def start(entry: _Pending) -> None:
+            nonlocal free_devices
+            profile = entry.profile
+            free_devices -= profile.devices
+            self.pool.reserve(profile.pool_bytes)
+            ledger.peak_reserved = max(ledger.peak_reserved,
+                                       self.pool.reserved)
+            jid = profile.spec.jid
+            ledger.first_dispatch.setdefault(jid, t)
+            running.append(_Running(profile=profile,
+                                    remaining=entry.remaining,
+                                    started=t,
+                                    preempted=entry.preempted))
+            refresh_dilation()
+
+        def finish(job: _Running) -> None:
+            nonlocal free_devices
+            free_devices += job.profile.devices
+            self.pool.release(job.profile.pool_bytes)
+            spec = job.profile.spec
+            ledger.finished.append(
+                (spec, ledger.first_dispatch[spec.jid], t))
+            refresh_dilation()
+
+        def preempt(job: _Running) -> None:
+            nonlocal free_devices
+            running.remove(job)
+            free_devices += job.profile.devices
+            self.pool.release(job.profile.pool_bytes)
+            overhead = 2 * _checkpoint_time(self.config,
+                                            job.profile.state_bytes)
+            ledger.checkpoint_seconds += overhead
+            ledger.checkpoint_bytes += 2 * job.profile.state_bytes
+            ledger.preemptions += 1
+            pending.append(_Pending(profile=job.profile,
+                                    enqueued_at=t,
+                                    remaining=job.remaining + overhead,
+                                    preempted=job.preempted + 1))
+            refresh_dilation()
+
+        def try_preempt_for(entry: _Pending) -> bool:
+            """Evict newest preemptible jobs until ``entry`` fits."""
+            victims = sorted(
+                (j for j in running
+                 if j.profile.preemptible
+                 and j.preempted < MAX_PREEMPTIONS_PER_JOB),
+                key=lambda j: (-j.started, -j.profile.spec.jid))
+            devices = free_devices
+            reserved = self.pool.reserved
+            chosen = []
+            need = entry.profile
+            for victim in victims:
+                if (devices >= need.devices
+                        and reserved + need.pool_bytes
+                        <= self.pool.limit):
+                    break
+                chosen.append(victim)
+                devices += victim.profile.devices
+                reserved -= victim.profile.pool_bytes
+            if not (devices >= need.devices
+                    and reserved + need.pool_bytes <= self.pool.limit):
+                return False
+            for victim in chosen:
+                preempt(victim)
+            return True
+
+        def policy_pass() -> None:
+            while True:
+                queue = [QueueEntry(p.profile,
+                                    estimated_wall_seconds(
+                                        p.remaining, p.profile,
+                                        self.pool, self._penalty))
+                         for p in pending]
+                releases = tuple(
+                    Release(time=j.remaining * j.dilation,
+                            devices=j.profile.devices,
+                            pool_bytes=j.profile.pool_bytes)
+                    for j in running)
+                choice = select_next(self.policy, queue, free_devices,
+                                     self.pool, releases)
+                if choice is None:
+                    return
+                start(pending.pop(choice))
+
+        def schedule() -> None:
+            """Alternate policy and preemption passes until stable."""
+            while True:
+                policy_pass()
+                if self.preempt_after is None:
+                    return
+                progressed = False
+                for entry in list(pending):
+                    overdue = (t - entry.enqueued_at
+                               >= self.preempt_after - _EPS)
+                    if not overdue:
+                        continue
+                    if fits(QueueEntry(entry.profile, entry.remaining),
+                            free_devices, self.pool):
+                        continue  # next policy pass can place it
+                    if try_preempt_for(entry):
+                        pending.remove(entry)
+                        start(entry)
+                        progressed = True
+                        break
+                if not progressed:
+                    return
+
+        while index < len(stream) or pending or running:
+            horizons = []
+            if index < len(stream):
+                horizons.append(stream[index].arrival)
+            if running:
+                horizons.append(t + min(j.remaining * j.dilation
+                                        for j in running))
+            if (self.preempt_after is not None and pending
+                    and running):
+                due = min(p.enqueued_at + self.preempt_after
+                          for p in pending)
+                if due > t:
+                    horizons.append(due)
+            if not horizons:
+                raise AssertionError(
+                    "deadlock: queued jobs but nothing running or "
+                    "arriving")
+            advance(max(t, min(horizons)))
+
+            for job in [j for j in running
+                        if j.remaining <= _EPS * (1.0 + j.profile.service)]:
+                running.remove(job)
+                finish(job)
+            while (index < len(stream)
+                   and stream[index].arrival <= t + _EPS):
+                spec = stream[index]
+                pending.append(_Pending(profile=profiles[index],
+                                        enqueued_at=spec.arrival,
+                                        remaining=profiles[index].service))
+                index += 1
+            schedule()
+
+        return ledger, t
+
+
+def fold_stats(ledger: _Ledger, makespan: float, *, policy: str,
+               job_mix: str, fleet_devices: int,
+               pool: MemoryPool) -> ClusterStats:
+    """Fold a finished run's ledger into :class:`ClusterStats`."""
+    finished = ledger.finished
+    if not finished:
+        raise ValueError("no finished jobs")
+    jcts = sorted(end - spec.arrival for spec, _, end in finished)
+    n = len(jcts)
+    delays = [first - spec.arrival for spec, first, _ in finished]
+    return ClusterStats(
+        policy=policy,
+        job_mix=job_mix,
+        n_jobs=n,
+        n_devices=fleet_devices,
+        pool_capacity=pool.capacity,
+        oversubscription=pool.oversubscription,
+        makespan=makespan,
+        throughput=n / makespan,
+        jct_mean=sum(jcts) / n,
+        jct_p50=percentile(jcts, 50),
+        jct_p95=percentile(jcts, 95),
+        queue_delay_mean=sum(delays) / n,
+        device_utilization=min(1.0, ledger.busy_device_seconds
+                               / (fleet_devices * makespan)),
+        pool_utilization=min(1.0,
+                             ledger.pool_util_seconds / makespan),
+        pool_pressure=ledger.pool_pressure_seconds / makespan,
+        fragmentation=min(1.0, ledger.frag_seconds / makespan),
+        preemptions=ledger.preemptions,
+        checkpoint_bytes=ledger.checkpoint_bytes,
+    )
+
+
+def simulate_cluster(config: SystemConfig, *, policy: str = "fifo",
+                     job_mix: str = "balanced",
+                     n_jobs: int = DEFAULT_JOBS, seed: int = 0,
+                     arrival_rate: float = DEFAULT_ARRIVAL_RATE,
+                     fleet_devices: int = DEFAULT_FLEET_DEVICES,
+                     pool_capacity: int | None = None,
+                     oversubscription: float = 1.0,
+                     preempt_after: float | None = None,
+                     jobs: Sequence[JobSpec] | None = None) \
+        -> SimulationResult:
+    """Run one complete cluster simulation on a design point.
+
+    Returns a :class:`SimulationResult` in ``ExecutionMode.CLUSTER``
+    whose ``cluster`` field carries the fleet statistics -- so cluster
+    cells cache, replay, and render through the campaign machinery
+    unchanged.  ``iteration_time`` holds the makespan; the breakdown's
+    ``compute`` aggregates busy device-seconds and ``vmem`` the
+    preemption checkpoint/restore traffic time.
+    """
+    if jobs is None:
+        jobs = generate_jobs(job_mix, n_jobs, seed=seed,
+                             arrival_rate=arrival_rate,
+                             node_width=config.n_devices)
+        mix_label = job_mix
+    else:
+        jobs = tuple(jobs)
+        mix_label = f"explicit[{len(jobs)}]"
+    sim = ClusterSimulator(config, policy=policy,
+                           fleet_devices=fleet_devices,
+                           pool_capacity=pool_capacity,
+                           oversubscription=oversubscription,
+                           preempt_after=preempt_after)
+    ledger, makespan = sim.run(jobs)
+    stats = fold_stats(ledger, makespan, policy=policy,
+                       job_mix=mix_label,
+                       fleet_devices=sim.fleet_devices, pool=sim.pool)
+
+    return SimulationResult(
+        system=config.name,
+        network=f"mix:{mix_label}",
+        batch=stats.n_jobs,
+        strategy=ParallelStrategy.DATA,
+        n_devices=sim.fleet_devices,
+        iteration_time=makespan,
+        breakdown=LatencyBreakdown(
+            compute=ledger.busy_device_seconds,
+            sync=0.0,
+            vmem=ledger.checkpoint_seconds),
+        offload_bytes_per_device=(ledger.peak_reserved
+                                  // sim.fleet_devices),
+        sync_bytes=0,
+        host_traffic_bytes_per_device=0,
+        fits_in_device_memory=ledger.peak_reserved == 0,
+        mode=ExecutionMode.CLUSTER,
+        cluster=stats,
+    )

@@ -9,10 +9,24 @@ parses back to the same IEEE-754 value.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
+from collections.abc import Sequence
 from typing import Any
 
 from repro.training.parallel import ParallelStrategy
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (exact order
+    statistic; survives JSON round trips bit-for-bit).  Shared by the
+    serving and cluster statistics layers."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 < q <= 100:
+        raise ValueError("percentile rank must be in (0, 100]")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
 
 
 class ExecutionMode(enum.Enum):
@@ -24,12 +38,15 @@ class ExecutionMode(enum.Enum):
     (:func:`repro.core.schedule.plan_inference`).  ``SERVING`` marks a
     result produced by the request-level serving simulation
     (:mod:`repro.serving`), whose payload lives in
-    :class:`ServingStats`.
+    :class:`ServingStats`.  ``CLUSTER`` marks a result produced by the
+    multi-job cluster scheduler (:mod:`repro.cluster`), whose payload
+    lives in :class:`ClusterStats`.
     """
 
     TRAINING = "training"
     INFERENCE = "inference"
     SERVING = "serving"
+    CLUSTER = "cluster"
 
 
 @dataclass(frozen=True)
@@ -245,6 +262,103 @@ class ServingStats:
 
 
 @dataclass(frozen=True)
+class ClusterStats:
+    """Fleet-level outcome of one multi-job cluster simulation.
+
+    Job completion times (JCT) are end-to-end (submission to finish,
+    queueing and preemption overheads included) in seconds, reported
+    as exact nearest-rank order statistics so they round-trip
+    losslessly through JSON.  ``pool_utilization`` is the time-average
+    of ``min(reserved, capacity) / capacity`` over the makespan;
+    ``fragmentation`` is the time-averaged fraction of fleet devices
+    idle while at least one job waited (capacity stranded by gang and
+    pool constraints), bounded in [0, 1].
+    """
+
+    policy: str
+    job_mix: str
+    n_jobs: int
+    n_devices: int        # fleet width (devices)
+    pool_capacity: int    # shared pool bytes
+    oversubscription: float
+    makespan: float
+    #: Completed jobs per second over the makespan.
+    throughput: float
+    jct_mean: float
+    jct_p50: float
+    jct_p95: float
+    queue_delay_mean: float
+    #: Time-averaged fraction of fleet devices busy.
+    device_utilization: float
+    pool_utilization: float
+    #: Time-averaged peak-relative pool pressure: ``reserved /
+    #: capacity`` without the cap, so oversubscribed intervals push it
+    #: above 1.
+    pool_pressure: float
+    fragmentation: float
+    preemptions: int
+    #: Checkpoint + restore bytes moved through the pool by preemption.
+    checkpoint_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.n_jobs <= 0:
+            raise ValueError("stats need at least one job")
+        if self.n_devices <= 0:
+            raise ValueError("need at least one device")
+        if self.makespan <= 0:
+            raise ValueError("makespan must be positive")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription factor must be >= 1")
+        if not self.jct_p50 <= self.jct_p95:
+            raise ValueError("JCT percentiles must be ordered")
+        for name in ("device_utilization", "pool_utilization",
+                     "fragmentation"):
+            value = getattr(self, name)
+            if value < 0.0 or value > 1.0 + 1e-9:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if self.preemptions < 0 or self.checkpoint_bytes < 0:
+            raise ValueError("preemption accounting must be >= 0")
+
+    @property
+    def queueing_share(self) -> float:
+        """Mean queueing delay over mean JCT -- how much of a job's
+        lifetime is spent waiting rather than running."""
+        return (self.queue_delay_mean / self.jct_mean
+                if self.jct_mean > 0 else 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "job_mix": self.job_mix,
+            "n_jobs": self.n_jobs,
+            "n_devices": self.n_devices,
+            "pool_capacity": self.pool_capacity,
+            "oversubscription": self.oversubscription,
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "jct_mean": self.jct_mean,
+            "jct_p50": self.jct_p50,
+            "jct_p95": self.jct_p95,
+            "queue_delay_mean": self.queue_delay_mean,
+            "device_utilization": self.device_utilization,
+            "pool_utilization": self.pool_utilization,
+            "pool_pressure": self.pool_pressure,
+            "fragmentation": self.fragmentation,
+            "preemptions": self.preemptions,
+            "checkpoint_bytes": self.checkpoint_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ClusterStats":
+        return cls(**{field: data[field] for field in (
+            "policy", "job_mix", "n_jobs", "n_devices", "pool_capacity",
+            "oversubscription", "makespan", "throughput", "jct_mean",
+            "jct_p50", "jct_p95", "queue_delay_mean",
+            "device_utilization", "pool_utilization", "pool_pressure",
+            "fragmentation", "preemptions", "checkpoint_bytes")})
+
+
+@dataclass(frozen=True)
 class SimulationResult:
     """One (design point, network, batch, strategy) simulation."""
 
@@ -271,6 +385,9 @@ class SimulationResult:
     #: Request-level serving statistics (``ExecutionMode.SERVING``
     #: only; ``None`` otherwise).
     serving: ServingStats | None = None
+    #: Fleet-level scheduler statistics (``ExecutionMode.CLUSTER``
+    #: only; ``None`` otherwise).
+    cluster: ClusterStats | None = None
 
     def __post_init__(self) -> None:
         if self.iteration_time <= 0:
@@ -318,6 +435,8 @@ class SimulationResult:
             "mode": self.mode.value,
             "serving": (self.serving.to_dict()
                         if self.serving is not None else None),
+            "cluster": (self.cluster.to_dict()
+                        if self.cluster is not None else None),
         }
 
     @classmethod
@@ -325,6 +444,7 @@ class SimulationResult:
         """Rebuild a result from :meth:`to_dict` output (exact)."""
         pipeline = data.get("pipeline")
         serving = data.get("serving")
+        cluster = data.get("cluster")
         return cls(
             system=data["system"],
             network=data["network"],
@@ -343,4 +463,6 @@ class SimulationResult:
             mode=ExecutionMode(data.get("mode", "training")),
             serving=(ServingStats.from_dict(serving)
                      if serving is not None else None),
+            cluster=(ClusterStats.from_dict(cluster)
+                     if cluster is not None else None),
         )

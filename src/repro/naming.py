@@ -1,0 +1,58 @@
+"""Canonical names and friendly aliases shared by every CLI.
+
+One table, three consumers: ``python -m repro serve``, ``python -m
+repro cluster``, and the ``trace`` subcommand all accept the exact
+Figure 11/13 design names plus the short aliases below, and the same
+for workloads.  Keeping the mapping here (instead of copy-pasting it
+per CLI) means a new design point or alias lands everywhere at once.
+"""
+
+from __future__ import annotations
+
+from repro.core.design_points import DESIGN_ORDER
+from repro.dnn.registry import WORKLOAD_NAMES
+
+#: Friendly aliases on top of the exact design-point names.
+DESIGN_ALIASES = {
+    "dc": "DC-DLA",
+    "hc": "HC-DLA",
+    "mc-star": "MC-DLA(S)",
+    "mc-s": "MC-DLA(S)",
+    "mc-dimm": "MC-DLA(L)",
+    "mc-local": "MC-DLA(L)",
+    "mc-l": "MC-DLA(L)",
+    "mc-hbm": "MC-DLA(B)",
+    "mc-bw": "MC-DLA(B)",
+    "mc-b": "MC-DLA(B)",
+    "oracle": "DC-DLA(O)",
+}
+
+#: Friendly aliases on top of the registered workload names.
+NETWORK_ALIASES = {
+    "bert": "BERT-Large",
+}
+
+
+def resolve_design(raw: str) -> str:
+    """Map a design name or alias to its canonical form."""
+    lowered = raw.strip().lower()
+    if lowered in DESIGN_ALIASES:
+        return DESIGN_ALIASES[lowered]
+    for name in DESIGN_ORDER:
+        if lowered == name.lower():
+            return name
+    raise KeyError(
+        f"unknown design {raw!r}; known: {', '.join(DESIGN_ORDER)} "
+        f"(aliases: {', '.join(sorted(DESIGN_ALIASES))})")
+
+
+def resolve_network(raw: str) -> str:
+    """Map a workload name or alias to its canonical form."""
+    lowered = raw.strip().lower()
+    if lowered in NETWORK_ALIASES:
+        return NETWORK_ALIASES[lowered]
+    for name in WORKLOAD_NAMES:
+        if lowered == name.lower():
+            return name
+    raise KeyError(f"unknown network {raw!r}; "
+                   f"known: {', '.join(WORKLOAD_NAMES)}")

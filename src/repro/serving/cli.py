@@ -21,54 +21,15 @@ import argparse
 import json
 import sys
 
-from repro.core.design_points import DESIGN_ORDER, design_point
-from repro.dnn.registry import TRANSFORMER_NAMES, WORKLOAD_NAMES
+from repro.core.design_points import design_point
+from repro.dnn.registry import TRANSFORMER_NAMES
+# Re-exported for backward compatibility: the alias tables and
+# resolvers now live in repro.naming, shared with the cluster and
+# trace CLIs.
+from repro.naming import (DESIGN_ALIASES, NETWORK_ALIASES,  # noqa: F401
+                          resolve_design, resolve_network)
 from repro.serving.server import (DEFAULT_DECODE_STEPS, DEFAULT_REQUESTS,
                                   DEFAULT_SLO, simulate_serving)
-
-#: Friendly aliases on top of the exact design-point names.
-DESIGN_ALIASES = {
-    "dc": "DC-DLA",
-    "hc": "HC-DLA",
-    "mc-star": "MC-DLA(S)",
-    "mc-s": "MC-DLA(S)",
-    "mc-dimm": "MC-DLA(L)",
-    "mc-local": "MC-DLA(L)",
-    "mc-l": "MC-DLA(L)",
-    "mc-hbm": "MC-DLA(B)",
-    "mc-bw": "MC-DLA(B)",
-    "mc-b": "MC-DLA(B)",
-    "oracle": "DC-DLA(O)",
-}
-
-NETWORK_ALIASES = {
-    "bert": "BERT-Large",
-}
-
-
-def resolve_design(raw: str) -> str:
-    """Map a design name or alias to its canonical form."""
-    lowered = raw.strip().lower()
-    if lowered in DESIGN_ALIASES:
-        return DESIGN_ALIASES[lowered]
-    for name in DESIGN_ORDER:
-        if lowered == name.lower():
-            return name
-    raise KeyError(
-        f"unknown design {raw!r}; known: {', '.join(DESIGN_ORDER)} "
-        f"(aliases: {', '.join(sorted(DESIGN_ALIASES))})")
-
-
-def resolve_network(raw: str) -> str:
-    """Map a workload name or alias to its canonical form."""
-    lowered = raw.strip().lower()
-    if lowered in NETWORK_ALIASES:
-        return NETWORK_ALIASES[lowered]
-    for name in WORKLOAD_NAMES:
-        if lowered == name.lower():
-            return name
-    raise KeyError(f"unknown network {raw!r}; "
-                   f"known: {', '.join(WORKLOAD_NAMES)}")
 
 
 def build_parser() -> argparse.ArgumentParser:

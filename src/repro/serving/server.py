@@ -21,12 +21,14 @@ tripping :class:`~repro.core.metrics.SimulationResult` carrying
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from collections.abc import Callable, Sequence
 
+# Re-exported: percentile's home is the shared metrics layer now, but
+# callers historically import it from here.
 from repro.core.metrics import (ExecutionMode, LatencyBreakdown,
-                                ServingStats, SimulationResult)
+                                ServingStats, SimulationResult,
+                                percentile)
 from repro.core.simulator import simulate
 from repro.core.system import SystemConfig
 from repro.dnn.graph import Network
@@ -200,17 +202,6 @@ def run_continuous(trace: Sequence[Request], policy: BatchPolicy,
     completed.sort(key=lambda c: (c.finished, c.request.rid))
     return ServingLedger(completed=tuple(completed), busy=busy,
                          n_batches=n_batches, work_items=work_items)
-
-
-def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending sequence (exact order
-    statistic; survives JSON round trips bit-for-bit)."""
-    if not sorted_values:
-        raise ValueError("percentile of an empty sequence")
-    if not 0 < q <= 100:
-        raise ValueError("percentile rank must be in (0, 100]")
-    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
-    return sorted_values[rank - 1]
 
 
 def compute_stats(ledger: ServingLedger, *, arrival: str, batcher: str,

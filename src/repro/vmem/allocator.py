@@ -51,6 +51,28 @@ class RemoteAllocator:
         return PAGE_BYTES * (self.free_frames(Tier.REMOTE_LEFT)
                              + self.free_frames(Tier.REMOTE_RIGHT))
 
+    @property
+    def fragmentation(self) -> float:
+        """Fraction of free frames stranded by split placement.
+
+        A LOCAL allocation wants one single-node extent, so the figure
+        of merit is the larger tier's free run versus the largest such
+        run the free total *could* form (``min(total_free, larger
+        tier capacity)``); the shortfall, as a fraction of all free
+        frames, is fragmentation.  Zero for a pristine or exhausted
+        space, grows as allocations split the free frames evenly
+        across the halves, and always stays within [0, 1].
+        """
+        left = self.free_frames(Tier.REMOTE_LEFT)
+        right = self.free_frames(Tier.REMOTE_RIGHT)
+        total = left + right
+        if total == 0:
+            return 0.0
+        achievable = min(total,
+                         max(self.layout.frame_count(Tier.REMOTE_LEFT),
+                             self.layout.frame_count(Tier.REMOTE_RIGHT)))
+        return (achievable - max(left, right)) / total
+
     # -- Allocation ------------------------------------------------------------
 
     def allocate(self, nbytes: int) -> list[PageMapping]:

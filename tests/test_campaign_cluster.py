@@ -1,0 +1,138 @@
+"""Campaign integration of cluster cells: grids, dispatch, caching."""
+
+import json
+
+import pytest
+
+from repro.campaign import (CampaignPoint, ResultCache, cluster_grid,
+                            run_campaign)
+from repro.core.metrics import ExecutionMode
+from repro.units import TB
+
+QUICK = dict(n_jobs=6, pool_capacity=1 * TB)
+
+
+class TestClusterGrid:
+    def test_shape_and_labels(self):
+        points = cluster_grid(("DC-DLA", "MC-DLA(B)"),
+                              policies=("fifo", "sjf"),
+                              job_mixes=("balanced",),
+                              oversubscription=(1.0, 1.5), **QUICK)
+        assert len(points) == 8
+        labels = {p.label for p in points}
+        assert "DC-DLA|fifo|balanced|os1" in labels
+        assert "MC-DLA(B)|sjf|balanced|os1.5" in labels
+        assert all(p.is_cluster and not p.is_serving for p in points)
+        assert all(p.network == "mix:balanced" for p in points)
+
+    def test_knobs_ride_in_cluster_tuple(self):
+        (point,) = cluster_grid(("DC-DLA",), policies=("gang",),
+                                seed=7, preempt_after=60.0, **QUICK)
+        knobs = dict(point.cluster)
+        assert knobs["policy"] == "gang"
+        assert knobs["seed"] == 7
+        assert knobs["preempt_after"] == 60.0
+        assert knobs["pool_capacity"] == 1 * TB
+
+    def test_describe_includes_cluster(self):
+        (point,) = cluster_grid(("DC-DLA",), **QUICK)
+        description = point.describe()
+        assert description["cluster"]
+        # The description must be JSON-stable (it feeds the cache key).
+        json.dumps(description, sort_keys=True)
+
+    def test_serving_and_cluster_are_exclusive(self):
+        with pytest.raises(ValueError):
+            CampaignPoint("DC-DLA", "GPT2",
+                          serving=(("rate", 100.0),),
+                          cluster=(("policy", "fifo"),))
+
+
+class TestClusterDispatch:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return cluster_grid(("MC-DLA(B)", "DC-DLA(O)"),
+                            policies=("fifo",), **QUICK)
+
+    def test_serial_run(self, points):
+        report = run_campaign(points).raise_failures()
+        for outcome in report.outcomes:
+            assert outcome.result.mode is ExecutionMode.CLUSTER
+            assert outcome.result.cluster is not None
+            assert outcome.result.cluster.policy == "fifo"
+
+    def test_pooled_matches_serial(self, points):
+        serial = run_campaign(points).raise_failures()
+        pooled = run_campaign(points, jobs=2).raise_failures()
+        for a, b in zip(serial.outcomes, pooled.outcomes):
+            assert a.result == b.result
+
+    def test_cache_replay_byte_identical(self, points, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_campaign(points, cache=cache).raise_failures()
+        assert all(not o.cached for o in cold.outcomes)
+        warm = run_campaign(points, cache=cache).raise_failures()
+        assert all(o.cached for o in warm.outcomes)
+        for a, b in zip(cold.outcomes, warm.outcomes):
+            assert json.dumps(a.result.to_dict(), sort_keys=True) == \
+                json.dumps(b.result.to_dict(), sort_keys=True)
+
+    def test_failures_reported_per_cell(self):
+        bad = cluster_grid(("MC-DLA(B)",), policies=("fifo",),
+                           n_jobs=6, pool_capacity=1)  # nothing fits
+        report = run_campaign(bad)
+        assert len(report.failures) == 1
+        assert "pool" in report.failures[0].error
+
+
+class TestClusterCampaignCli:
+    def test_cluster_cells_via_cli(self, tmp_path, capsys):
+        from repro.campaign.cli import main
+        out = tmp_path / "cluster.json"
+        code = main(["--designs", "MC-DLA(B)", "--strategies", "",
+                     "--policies", "fifo", "--cluster-jobs", "6",
+                     "--pool-gb", "1024", "--no-cache", "--quiet",
+                     "--format", "json", "-o", str(out)])
+        assert code == 0
+        rows = json.loads(out.read_text())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["mode"] == "cluster"
+        assert row["cluster"]["n_jobs"] == 6
+        assert row["jct_p95"] >= row["jct_p50"] > 0
+
+    def test_cluster_csv_columns(self, tmp_path):
+        from repro.campaign.cli import main
+        out = tmp_path / "cluster.csv"
+        code = main(["--designs", "MC-DLA(B)", "--strategies", "",
+                     "--policies", "fifo", "--cluster-jobs", "6",
+                     "--pool-gb", "1024", "--no-cache", "--quiet",
+                     "--format", "csv", "-o", str(out)])
+        assert code == 0
+        header, row = out.read_text().strip().splitlines()
+        fields = dict(zip(header.split(","), row.split(",")))
+        assert fields["mode"] == "cluster"
+        assert float(fields["jct_p95"]) > 0
+        assert 0.0 <= float(fields["pool_utilization"]) <= 1.0
+        assert fields["preemptions"] == "0"
+
+    def test_unknown_policy_rejected(self, capsys):
+        from repro.campaign.cli import main
+        assert main(["--policies", "wfq", "--quiet"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_unknown_mix_rejected(self, capsys):
+        from repro.campaign.cli import main
+        assert main(["--policies", "fifo", "--job-mixes", "nope",
+                     "--quiet"]) == 2
+        assert "unknown job mix" in capsys.readouterr().err
+
+    def test_table_renders_cluster_columns(self, capsys):
+        from repro.campaign.cli import main
+        code = main(["--designs", "MC-DLA(B)", "--strategies", "",
+                     "--policies", "fifo", "--cluster-jobs", "6",
+                     "--pool-gb", "1024", "--no-cache", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "JCT p95" in out and "pool util" in out
+        assert "jobs/h" in out

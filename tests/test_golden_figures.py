@@ -177,3 +177,14 @@ def test_serving_golden(golden):
             scalars[f"{design}/{rate:g}/goodput"] = s.goodput
             scalars[f"{design}/{rate:g}/attainment"] = s.slo_attainment
     golden.check("serving", scalars)
+
+
+def test_cluster_golden(golden):
+    """Key scalars of a reduced cluster comparison (two policies, a
+    shorter job stream) pin the scheduler's physics: JCT percentiles,
+    queueing, pool occupancy, and the preemption ledger."""
+    from repro.experiments.cluster_comparison import (
+        run_cluster_comparison)
+    study = run_cluster_comparison(policies=("fifo", "sjf"),
+                                   n_jobs=12, cache=None)
+    golden.check("cluster", study.scalars())
