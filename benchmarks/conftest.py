@@ -38,6 +38,15 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: sorts set-typed values before hashing, and
 #: ``tests/test_campaign_serving.py::TestHashSeedDeterminism`` holds
 #: the key derivation to that across different hash seeds.
+#:
+#: Keys must also cover the *built* config, not just the point axes:
+#: the per-policy benchmark matrices (``bench_prefetch.py``) build the
+#: same (design, network, batch) cells under different factory-baked
+#: prefetch policies, and a key without the full config fingerprint
+#: would silently replay one policy's cached numbers as another's.
+#: ``run_campaign`` therefore keys on ``point.describe(factory)`` --
+#: the canonical image of the materialized ``SystemConfig`` -- held to
+#: by ``tests/test_campaign_prefetch.py::TestConfigFingerprintKeys``.
 CACHE_DIR = Path(os.environ.setdefault(
     CACHE_DIR_ENV, str(Path(__file__).parent / ".cache")))
 

@@ -108,6 +108,70 @@ def _fleet() -> str:
     return format_cluster_comparison(run_cluster_comparison())
 
 
+def _prefetch_main(argv: list[str]) -> int:
+    """``python -m repro prefetch``: the policy x design x mode study."""
+    from repro.experiments.prefetch_comparison import (
+        MODES, format_prefetch_comparison, run_prefetch_comparison,
+        scalars_json)
+    from repro.vmem.prefetch import PREFETCH_POLICY_ORDER
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro prefetch",
+        description="Compare vmem prefetch/eviction policies across "
+                    "all six designs in training, pipeline, serving, "
+                    "and cluster modes.")
+    parser.add_argument(
+        "--policies", default=",".join(PREFETCH_POLICY_ORDER),
+        help="comma-separated policies (default: all five)")
+    parser.add_argument(
+        "--modes", default=",".join(MODES),
+        help="comma-separated modes (default: all four)")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke run: training mode only, on AlexNet")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (default: 1)")
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table); json emits the study's "
+             "key scalars, sorted and byte-deterministic")
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="write output to this file instead of stdout")
+    args = parser.parse_args(argv)
+
+    policies = [p.strip() for p in args.policies.split(",")
+                if p.strip()]
+    unknown = [p for p in policies if p not in PREFETCH_POLICY_ORDER]
+    if unknown:
+        print(f"unknown policy(ies): {', '.join(unknown)}; known: "
+              f"{', '.join(PREFETCH_POLICY_ORDER)}", file=sys.stderr)
+        return 2
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    bad = [m for m in modes if m not in MODES]
+    if bad:
+        print(f"unknown mode(s): {', '.join(bad)}; known: "
+              f"{', '.join(MODES)}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.quick:
+        modes = ["training"]
+        kwargs["training_network"] = "AlexNet"
+
+    study = run_prefetch_comparison(policies=tuple(policies),
+                                    modes=tuple(modes),
+                                    jobs=args.jobs, **kwargs)
+    text = (scalars_json(study) if args.format == "json"
+            else format_prefetch_comparison(study))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig2": ("Figure 2: device generations vs PCIe overhead", _fig2),
     "fig9": ("Figure 9: ring collective latency", _fig9),
@@ -199,6 +263,7 @@ def main(argv: list[str] | None = None) -> int:
         print("       python -m repro campaign [options]")
         print("       python -m repro serve [options]")
         print("       python -m repro cluster [options]")
+        print("       python -m repro prefetch [options]")
         print("       python -m repro trace <design> <network> [options]")
         print("experiments:")
         for key, (title, _) in EXPERIMENTS.items():
@@ -209,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
               "percentiles, goodput, SLO (--help for options)")
         print("  cluster      one multi-job cluster simulation: JCT, "
               "queueing, pool utilization (--help for options)")
+        print("  prefetch     prefetch policies x designs x modes: "
+              "stall, waste, evictions (--help for options)")
         print("  trace        Chrome/Perfetto trace of one iteration "
               "(--help for options)")
         return 0
@@ -224,6 +291,9 @@ def main(argv: list[str] | None = None) -> int:
     if args[0] == "cluster":
         from repro.cluster.cli import main as cluster_main
         return cluster_main(args[1:])
+
+    if args[0] == "prefetch":
+        return _prefetch_main(args[1:])
 
     if args[0] == "trace":
         return _trace_main(args[1:])

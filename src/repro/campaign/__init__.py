@@ -24,7 +24,7 @@ from repro.campaign.cache import (CACHE_DIR_ENV, ResultCache,
                                   code_fingerprint, default_cache_dir)
 from repro.campaign.points import (CampaignPoint, canonicalize,
                                    cluster_grid, grid, pipeline_grid,
-                                   serving_grid)
+                                   prefetch_grid, serving_grid)
 from repro.campaign.runner import (CampaignError, CampaignReport,
                                    CellOutcome, run_campaign)
 
@@ -32,5 +32,5 @@ __all__ = [
     "CACHE_DIR_ENV", "CampaignError", "CampaignPoint", "CampaignReport",
     "CellOutcome", "ResultCache", "canonicalize", "cluster_grid",
     "code_fingerprint", "default_cache_dir", "grid", "pipeline_grid",
-    "run_campaign", "serving_grid",
+    "prefetch_grid", "run_campaign", "serving_grid",
 ]

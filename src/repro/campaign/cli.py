@@ -25,12 +25,13 @@ import time
 
 from repro.campaign.cache import ResultCache, default_cache_dir
 from repro.campaign.points import (cluster_grid, grid, pipeline_grid,
-                                   serving_grid)
+                                   prefetch_grid, serving_grid)
 from repro.campaign.runner import CampaignReport, CellOutcome, run_campaign
 from repro.core.design_points import DESIGN_ORDER
 from repro.dnn.registry import (BENCHMARK_NAMES, TRANSFORMER_NAMES,
                                 WORKLOAD_NAMES)
 from repro.training.parallel import ParallelStrategy
+from repro.vmem.prefetch import PREFETCH_POLICY_ORDER
 
 _STRATEGY_ALIASES = {
     "data": ParallelStrategy.DATA,
@@ -48,7 +49,9 @@ _CSV_FIELDS = (
     "host_traffic_bytes_per_device", "fits_in_device_memory",
     "bubble_fraction", "mode", "latency_p50", "latency_p95",
     "latency_p99", "goodput", "slo_attainment", "jct_p50", "jct_p95",
-    "queue_delay_mean", "pool_utilization", "preemptions", "cached",
+    "queue_delay_mean", "pool_utilization", "preemptions",
+    "prefetch_policy", "stall_seconds", "prefetch_hit_rate",
+    "wasted_prefetch_bytes", "prefetch_evictions", "cached",
 )
 
 
@@ -96,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--microbatches", type=int, default=8,
         help="microbatches per pipeline iteration (default: 8)")
+    parser.add_argument(
+        "--prefetch-policies", default="",
+        help="comma-separated vmem prefetch policies ("
+             + ", ".join(PREFETCH_POLICY_ORDER) + "); non-empty "
+             "replicates every data/model training cell per policy")
     parser.add_argument(
         "--arrival-rates", default="",
         help="comma-separated request rates (req/s); non-empty adds "
@@ -216,6 +224,23 @@ def _rows(report: CampaignReport) -> list[dict]:
                             if result.cluster is not None else None),
             "cluster": (result.cluster.to_dict()
                         if result.cluster is not None else None),
+            "prefetch_policy": (result.prefetch.policy
+                                if result.prefetch is not None
+                                else None),
+            "stall_seconds": (result.prefetch.stall_seconds
+                              if result.prefetch is not None
+                              else None),
+            "prefetch_hit_rate": (result.prefetch.hit_rate
+                                  if result.prefetch is not None
+                                  else None),
+            "wasted_prefetch_bytes": (result.prefetch.wasted_bytes
+                                      if result.prefetch is not None
+                                      else None),
+            "prefetch_evictions": (result.prefetch.evictions
+                                   if result.prefetch is not None
+                                   else None),
+            "prefetch": (result.prefetch.to_dict()
+                         if result.prefetch is not None else None),
             "cached": outcome.cached,
         })
     return rows
@@ -303,13 +328,27 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown schedule(s): {', '.join(bad_schedules)}; "
               f"known: 1f1b, gpipe", file=sys.stderr)
         return 2
+    policies = _split(args.prefetch_policies)
+    bad_policies = [p for p in policies
+                    if p not in PREFETCH_POLICY_ORDER]
+    if bad_policies:
+        print(f"unknown prefetch policy(ies): "
+              f"{', '.join(bad_policies)}; known: "
+              f"{', '.join(PREFETCH_POLICY_ORDER)}", file=sys.stderr)
+        return 2
     try:
         batches = [int(b) for b in _split(args.batches)]
         strategies = [_STRATEGY_ALIASES[s.lower()]
                       for s in _split(args.strategies)]
         flat = [s for s in strategies
                 if s is not ParallelStrategy.PIPELINE]
-        points = grid(designs, networks, batches, flat) if flat else ()
+        if flat and policies:
+            points = prefetch_grid(designs, networks, policies,
+                                   batches, tuple(flat))
+        elif flat:
+            points = grid(designs, networks, batches, flat)
+        else:
+            points = ()
         if ParallelStrategy.PIPELINE in strategies:
             points += pipeline_grid(designs, networks, batches,
                                     schedules=schedules,

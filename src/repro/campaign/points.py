@@ -92,9 +92,19 @@ class CampaignPoint:
                                          **dict(self.replacements))
         return config
 
-    def describe(self) -> dict[str, Any]:
-        """A canonical, JSON-stable description (feeds the cache key)."""
-        return {
+    def describe(self, factory=None) -> dict[str, Any]:
+        """A canonical, JSON-stable description (feeds the cache key).
+
+        With a ``factory``, the description additionally embeds the
+        canonical image of the *built* :class:`SystemConfig` -- the
+        full config fingerprint.  The point axes alone are not enough
+        for safe caching: a factory whose behavior changes between
+        runs (a flipped module default such as the prefetch policy)
+        yields a different simulation from the identical axes, and a
+        key without the built config would silently replay the stale
+        result across policies.
+        """
+        description = {
             "design": self.design,
             "network": self.network,
             "batch": self.batch,
@@ -104,6 +114,10 @@ class CampaignPoint:
             "serving": canonicalize(self.serving),
             "cluster": canonicalize(self.cluster),
         }
+        if factory is not None:
+            description["config"] = canonicalize(
+                self.build_config(factory))
+        return description
 
 
 def grid(designs, networks, batches=(512,),
@@ -237,6 +251,32 @@ def cluster_grid(designs, policies=("fifo",), job_mixes=("balanced",),
                         cluster=tuple(knobs),
                         label=(f"{design}|{policy}|{mix}"
                                f"|os{oversub:g}")))
+    return tuple(points)
+
+
+def prefetch_grid(designs, networks, policies, batches=(512,),
+                  strategies=(ParallelStrategy.DATA,)) \
+        -> tuple[CampaignPoint, ...]:
+    """Prefetch-policy cells: one point per (policy, cell).
+
+    The policy rides in ``replacements`` (it is a
+    :class:`~repro.core.system.SystemConfig` field), and every policy
+    variant gets a ``design|policy`` label so the variants of one
+    design coexist in a single campaign -- and key distinct cache
+    entries.
+    """
+    points = []
+    for policy in policies:
+        for strategy in strategies:
+            for network in networks:
+                for batch in batches:
+                    for design in designs:
+                        points.append(CampaignPoint(
+                            design=design, network=network,
+                            batch=batch, strategy=strategy,
+                            replacements=(
+                                ("prefetch_policy", policy),),
+                            label=f"{design}|{policy}"))
     return tuple(points)
 
 

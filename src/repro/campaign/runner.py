@@ -153,7 +153,18 @@ def run_campaign(points: Iterable[CampaignPoint], *, jobs: int = 1,
     misses: list[int] = []
     for index, point in enumerate(points):
         if cache is not None:
-            key = cache.key(point.describe(), factory_id)
+            # The key embeds the *built* config (point.describe with
+            # the factory), so results can never be replayed across
+            # configs the point axes do not distinguish -- e.g. two
+            # factories baking different prefetch policies.  A point
+            # whose config cannot build is left uncached; the worker
+            # will surface the error as the cell's outcome.
+            try:
+                description = point.describe(factory)
+            except Exception:
+                misses.append(index)
+                continue
+            key = cache.key(description, factory_id)
             keys[index] = key
             hit = cache.get(key)
             if hit is not None:
@@ -163,7 +174,7 @@ def run_campaign(points: Iterable[CampaignPoint], *, jobs: int = 1,
 
     def finish(index: int, result: SimulationResult,
                elapsed: float) -> None:
-        if cache is not None:
+        if cache is not None and index in keys:
             cache.put(keys[index], result)
         record(index, CellOutcome(points[index], result,
                                   elapsed=elapsed))

@@ -32,10 +32,29 @@ from repro.core.simulator import simulate
 from repro.core.system import SystemConfig
 from repro.dnn.registry import build_network
 from repro.training.parallel import ParallelStrategy
+from repro.vmem.prefetch import ON_DEMAND
 
 #: Weights + two Adam-style optimizer moments: the state a preempted
 #: job checkpoints into (and restores from) the pool.
 OPTIMIZER_STATE_FACTOR = 3
+
+
+def policy_exposure(result: SimulationResult) -> float:
+    """Spill-exposure factor of one priced job, in [0, 1].
+
+    The measured share of the job's migration time that actually
+    blocked compute (``stall_seconds / vmem``).  The on-demand
+    baseline -- and any result without prefetch accounting -- prices
+    at the conservative 1.0, so legacy cluster numbers are unchanged
+    byte-for-byte.
+    """
+    stats = result.prefetch
+    if stats is None or stats.policy == ON_DEMAND:
+        return 1.0
+    vmem = result.breakdown.vmem
+    if vmem <= 0.0:
+        return 1.0
+    return min(1.0, stats.stall_seconds / vmem)
 
 
 @dataclass(frozen=True)
@@ -58,6 +77,12 @@ class JobProfile:
     vmem_share: float
     #: Latency-critical tenants are never preempted.
     preemptible: bool
+    #: Share of the job's migration its prefetch policy leaves on the
+    #: critical path, in [0, 1]: spill dilation scales by it.  The
+    #: legacy on-demand baseline prices at 1.0 (the paper's
+    #: conservative worst case); policies that hide migration behind
+    #: compute are proportionally less sensitive to spilling.
+    exposure: float = 1.0
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -68,6 +93,8 @@ class JobProfile:
             raise ValueError("byte accounting must be >= 0")
         if not 0.0 <= self.vmem_share <= 1.0:
             raise ValueError("vmem_share must lie in [0, 1]")
+        if not 0.0 <= self.exposure <= 1.0:
+            raise ValueError("exposure must lie in [0, 1]")
 
 
 class CostOracle:
@@ -125,4 +152,5 @@ class CostOracle:
             spec=spec, devices=devices, service=service,
             pool_bytes=pool_bytes, state_bytes=state_bytes,
             vmem_share=vmem_share,
-            preemptible=spec.kind is not JobKind.SERVING)
+            preemptible=spec.kind is not JobKind.SERVING,
+            exposure=policy_exposure(result))

@@ -16,8 +16,13 @@ capacity accounting:
 :func:`spill_dilation` prices that slowdown with the same vmem algebra
 the simulator uses: a job whose migration share of busy time is ``v``
 and whose pool channel is ``r`` times faster than the spill channel
-runs ``1 + f * v * (r - 1)`` slower when a fraction ``f`` of the pool
-has spilled.
+runs ``1 + f * v * e * (r - 1)`` slower when a fraction ``f`` of the
+pool has spilled -- where ``e`` is the job's *exposure*, the share of
+its migration the active prefetch policy leaves on the critical path
+(:data:`~repro.cluster.oracle.JobProfile.exposure`).  The legacy
+``on-demand`` baseline prices at ``e = 1`` (the paper's conservative
+worst case); smarter policies hide part of the spill-tier latency
+behind compute and dilate proportionally less.
 """
 
 from __future__ import annotations
@@ -104,7 +109,10 @@ def spill_dilation(profile: JobProfile, overflow_fraction: float,
     """Service-rate dilation of one running job, >= 1.
 
     Only the job's migration share dilates; compute and collectives
-    are unaffected by where cold pages live.
+    are unaffected by where cold pages live.  The prefetch policy the
+    job was priced under scales the dilation through
+    ``profile.exposure``: migration the policy already hides behind
+    compute does not slow down further when its pages spill.
     """
     if not 0.0 <= overflow_fraction <= 1.0:
         raise ValueError("overflow fraction must lie in [0, 1]")
@@ -112,4 +120,5 @@ def spill_dilation(profile: JobProfile, overflow_fraction: float,
         raise ValueError("spill penalty must be >= 0")
     if profile.pool_bytes == 0:
         return 1.0
-    return 1.0 + overflow_fraction * profile.vmem_share * penalty
+    return 1.0 + (overflow_fraction * profile.vmem_share
+                  * profile.exposure * penalty)

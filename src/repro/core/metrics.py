@@ -165,6 +165,80 @@ class PipelineStats:
 
 
 @dataclass(frozen=True)
+class PrefetchStats:
+    """What the vmem prefetch/eviction policy did to one schedule.
+
+    Produced by :func:`repro.vmem.prefetch.collect_prefetch_stats` from
+    the scheduled timeline.  ``late``/``jit``/``early`` form the
+    timeliness histogram over the real (consumer-feeding) prefetches:
+    a fetch is *late* when its consumer had to wait for it, *jit* when
+    it finished within one of its own transfer times of the consumer
+    unblocking, and *early* otherwise.  ``wasted_bytes`` counts
+    speculative traffic nothing consumed (mispredictions plus the first
+    trip of every evicted tensor); ``contended_seconds`` is the
+    measured overlap of migration DMAs with collective traffic on the
+    shared links.  All counts are exact integers and every float
+    round-trips losslessly through JSON.
+    """
+
+    policy: str
+    n_prefetches: int
+    #: All bytes moved device-bound on the prefetch engine, waste
+    #: included.
+    prefetch_bytes: int
+    wasted_bytes: int
+    evictions: int
+    #: Seconds compute spent blocked on prefetch DMAs.
+    stall_seconds: float
+    late: int
+    jit: int
+    early: int
+    #: Fraction of prefetches that did not stall their consumer.
+    hit_rate: float
+    contended_seconds: float
+
+    def __post_init__(self) -> None:
+        if min(self.n_prefetches, self.prefetch_bytes,
+               self.wasted_bytes, self.evictions, self.late, self.jit,
+               self.early) < 0:
+            raise ValueError("prefetch counts must be non-negative")
+        if self.late + self.jit + self.early != self.n_prefetches:
+            raise ValueError("timeliness histogram must cover every "
+                             "prefetch")
+        if min(self.stall_seconds, self.contended_seconds) < 0:
+            raise ValueError("prefetch timings must be non-negative")
+        if not 0.0 <= self.hit_rate <= 1.0:
+            raise ValueError("hit rate must lie in [0, 1]")
+
+    @property
+    def timeliness(self) -> dict[str, int]:
+        """The histogram as a plain mapping (rendering convenience)."""
+        return {"late": self.late, "jit": self.jit, "early": self.early}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "n_prefetches": self.n_prefetches,
+            "prefetch_bytes": self.prefetch_bytes,
+            "wasted_bytes": self.wasted_bytes,
+            "evictions": self.evictions,
+            "stall_seconds": self.stall_seconds,
+            "late": self.late,
+            "jit": self.jit,
+            "early": self.early,
+            "hit_rate": self.hit_rate,
+            "contended_seconds": self.contended_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PrefetchStats":
+        return cls(**{field: data[field] for field in (
+            "policy", "n_prefetches", "prefetch_bytes", "wasted_bytes",
+            "evictions", "stall_seconds", "late", "jit", "early",
+            "hit_rate", "contended_seconds")})
+
+
+@dataclass(frozen=True)
 class ServingStats:
     """Request-level outcome of one inference-serving simulation.
 
@@ -388,6 +462,12 @@ class SimulationResult:
     #: Fleet-level scheduler statistics (``ExecutionMode.CLUSTER``
     #: only; ``None`` otherwise).
     cluster: ClusterStats | None = None
+    #: Prefetch-policy accounting of the scheduled timeline: populated
+    #: for training, inference, and pipeline results, and for serving
+    #: results (from the representative ``max_batch`` forward
+    #: simulation).  ``None`` only for the fleet-level cluster
+    #: simulation, whose payload aggregates many jobs' timelines.
+    prefetch: PrefetchStats | None = None
 
     def __post_init__(self) -> None:
         if self.iteration_time <= 0:
@@ -437,6 +517,8 @@ class SimulationResult:
                         if self.serving is not None else None),
             "cluster": (self.cluster.to_dict()
                         if self.cluster is not None else None),
+            "prefetch": (self.prefetch.to_dict()
+                         if self.prefetch is not None else None),
         }
 
     @classmethod
@@ -445,6 +527,7 @@ class SimulationResult:
         pipeline = data.get("pipeline")
         serving = data.get("serving")
         cluster = data.get("cluster")
+        prefetch = data.get("prefetch")
         return cls(
             system=data["system"],
             network=data["network"],
@@ -465,4 +548,6 @@ class SimulationResult:
                      if serving is not None else None),
             cluster=(ClusterStats.from_dict(cluster)
                      if cluster is not None else None),
+            prefetch=(PrefetchStats.from_dict(prefetch)
+                      if prefetch is not None else None),
         )

@@ -11,6 +11,7 @@ every overlap opportunity and every stall the design point implies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Callable
 
 from repro.core.system import SystemConfig
 from repro.core.timeline import EngineKind, OpList
@@ -20,6 +21,8 @@ from repro.training.backprop import TrainingStep, expand
 from repro.training.parallel import (ParallelStrategy, PartitionedLayer,
                                      partition)
 from repro.vmem.policy import MigrationAction, MigrationPolicy
+from repro.vmem.prefetch import (ON_DEMAND, FetchSite, PrefetchContext,
+                                 PrefetchSchedule, prefetch_policy)
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,93 @@ def plan_iteration(net: Network, config: SystemConfig, batch: int,
     }
     return IterationPlan(net=net, batch=batch, strategy=strategy,
                          parts=parts, step=step, migrated_shards=migrated)
+
+
+def contention_fraction(compute_seconds: float,
+                        comm_seconds: float) -> float:
+    """Share of the iteration during which migration DMAs contend.
+
+    Collectives occupy the shared links for roughly ``comm_seconds``
+    of a ``compute_seconds``-long iteration, so a DMA issued at an
+    arbitrary point is contended with that probability.  Both terms
+    come from the plan (not a schedule), so every policy of one cell
+    prices its transfers identically -- the clairvoyant oracle's
+    dominance is a scheduling property, never a pricing artifact.
+    """
+    if compute_seconds <= 0.0:
+        return 1.0
+    return min(1.0, comm_seconds / compute_seconds)
+
+
+def vmem_pricer(config: SystemConfig, compute_seconds: float,
+                comm_seconds: float) -> Callable[[int], float]:
+    """The DMA pricing the active prefetch policy implies.
+
+    The legacy ``on-demand`` baseline keeps the paper's conservative
+    always-contended pricing (its schedules must stay byte-identical
+    to the seed's); the policy engine prices with the plan's measured
+    contention fraction instead.
+    """
+    if config.prefetch_policy == ON_DEMAND:
+        return config.vmem.transfer_time
+    fraction = contention_fraction(compute_seconds, comm_seconds)
+    return lambda nbytes: config.vmem.contended_transfer_time(nbytes,
+                                                              fraction)
+
+
+def _iteration_seconds(plan: IterationPlan,
+                       config: SystemConfig) -> tuple[float, float]:
+    """(compute, collective) seconds of one training iteration plan."""
+    device = config.device
+    compute = 0.0
+    comm = 0.0
+    for name in plan.step.fwd_order:
+        if plan.net.layer(name).kind is LayerKind.INPUT:
+            continue
+        part = plan.parts[name]
+        compute += device.op_time(list(part.fwd_gemms),
+                                  part.fwd_stream_bytes)
+        compute += device.op_time(list(part.bwd_gemms),
+                                  part.fwd_stream_bytes)
+        for sync in (part.fwd_sync, part.bwd_sync):
+            if sync is not None:
+                comm += config.collectives.time(sync.primitive,
+                                                sync.nbytes)
+    return compute, comm
+
+
+def iteration_pricer(plan: IterationPlan,
+                     config: SystemConfig) -> Callable[[int], float]:
+    """The migration-DMA pricer of one training iteration."""
+    compute, comm = _iteration_seconds(plan, config)
+    return vmem_pricer(config, compute, comm)
+
+
+def plan_training_prefetch(plan: IterationPlan, config: SystemConfig,
+                           pricer: Callable[[int], float] | None
+                           = None) -> PrefetchSchedule:
+    """Run the configured prefetch policy over a training iteration."""
+    device = config.device
+    if pricer is None:
+        pricer = iteration_pricer(plan, config)
+    step_seconds = []
+    sites = []
+    fetch_seconds = []
+    for step_index, name in enumerate(plan.step.bwd_order):
+        part = plan.parts[name]
+        step_seconds.append(device.op_time(list(part.bwd_gemms),
+                                           part.fwd_stream_bytes))
+        for producer in plan.step.prefetch_sites.get(name, ()):
+            shard = plan.migrated_shards[producer]
+            sites.append(FetchSite(producer=producer,
+                                   use_step=step_index, nbytes=shard))
+            fetch_seconds.append(pricer(shard))
+    ctx = PrefetchContext(
+        n_steps=len(plan.step.bwd_order), sites=tuple(sites),
+        step_seconds=tuple(step_seconds),
+        fetch_seconds=tuple(fetch_seconds),
+        window=config.prefetch_window, stash=config.prefetch_stash)
+    return prefetch_policy(config.prefetch_policy).plan(ctx)
 
 
 @dataclass(frozen=True)
@@ -134,15 +224,84 @@ def plan_inference(net: Network, config: SystemConfig, batch: int,
                          parts=parts, streamed_weights=streamed)
 
 
-def build_inference_ops(plan: InferencePlan,
-                        config: SystemConfig) -> OpList:
+def _inference_seconds(plan: InferencePlan,
+                       config: SystemConfig) -> tuple[float, float]:
+    """(compute, collective) seconds of one forward-only batch plan."""
+    device = config.device
+    compute = 0.0
+    comm = 0.0
+    for name in plan.net.layer_names:
+        if plan.net.layer(name).kind is LayerKind.INPUT:
+            continue
+        part = plan.parts[name]
+        compute += device.op_time(list(part.fwd_gemms),
+                                  part.fwd_stream_bytes)
+        if part.fwd_sync is not None:
+            comm += config.collectives.time(part.fwd_sync.primitive,
+                                            part.fwd_sync.nbytes)
+    return compute, comm
+
+
+def inference_pricer(plan: InferencePlan,
+                     config: SystemConfig) -> Callable[[int], float]:
+    """The weight-streaming DMA pricer of one inference batch."""
+    compute, comm = _inference_seconds(plan, config)
+    return vmem_pricer(config, compute, comm)
+
+
+def plan_inference_prefetch(plan: InferencePlan, config: SystemConfig,
+                            pricer: Callable[[int], float] | None
+                            = None) -> PrefetchSchedule:
+    """Run the configured prefetch policy over the weight stream.
+
+    Streamed weights are fetch sites exactly like training stashes:
+    the consuming step of layer *k*'s weights is its forward compute,
+    indexed by position among the non-input layers.
+    """
+    device = config.device
+    if pricer is None:
+        pricer = inference_pricer(plan, config)
+    step_seconds = []
+    sites = []
+    fetch_seconds = []
+    step_index = 0
+    for name in plan.net.layer_names:
+        layer = plan.net.layer(name)
+        if layer.kind is LayerKind.INPUT:
+            continue
+        part = plan.parts[name]
+        step_seconds.append(device.op_time(list(part.fwd_gemms),
+                                           part.fwd_stream_bytes))
+        if name in plan.streamed_weights:
+            nbytes = plan.streamed_weights[name]
+            sites.append(FetchSite(producer=name, use_step=step_index,
+                                   nbytes=nbytes))
+            fetch_seconds.append(pricer(nbytes))
+        step_index += 1
+    ctx = PrefetchContext(
+        n_steps=step_index, sites=tuple(sites),
+        step_seconds=tuple(step_seconds),
+        fetch_seconds=tuple(fetch_seconds),
+        window=config.prefetch_window, stash=config.prefetch_stash)
+    return prefetch_policy(config.prefetch_policy).plan(ctx)
+
+
+def build_inference_ops(plan: InferencePlan, config: SystemConfig,
+                        prefetch: PrefetchSchedule | None = None,
+                        pricer: Callable[[int], float] | None = None) \
+        -> OpList:
     """Emit one forward-only batch's ops in issue order.
 
-    Weight fetches ride the prefetch DMA engine with the same bounded
-    lookahead as training prefetches (``prefetch_window`` layers of
-    run-ahead), so a fast backing store hides them behind compute and
-    a slow one exposes them -- the serving-time memory wall.
+    Weight fetches ride the prefetch DMA engine, gated per the active
+    prefetch policy (the legacy bounded lookahead under ``on-demand``),
+    so a fast backing store hides them behind compute and a slow one
+    exposes them -- the serving-time memory wall.
     """
+    if pricer is None:
+        pricer = inference_pricer(plan, config)
+    if prefetch is None:
+        prefetch = plan_inference_prefetch(plan, config, pricer)
+    waste_before = prefetch.waste_before()
     ops = OpList()
     device = config.device
     net = plan.net
@@ -151,6 +310,10 @@ def build_inference_ops(plan: InferencePlan,
     ready: dict[str, int | None] = {}
     sync_uid: dict[str, int] = {}
     computes: list[int] = []
+    site_index = 0
+
+    def fetch_gate(gate_step: int | None) -> list[int]:
+        return [] if gate_step is None else [computes[gate_step]]
 
     for name in net.layer_names:
         layer = net.layer(name)
@@ -169,13 +332,16 @@ def build_inference_ops(plan: InferencePlan,
                     deps.append(sync_uid[gp])
 
         if name in plan.streamed_weights:
+            issue = prefetch.issues[site_index]
+            for waste in waste_before.get(site_index, ()):
+                ops.add(EngineKind.DMA_IN, pricer(waste.nbytes),
+                        fetch_gate(waste.gate_step),
+                        tag=f"waste:{waste.label}", nbytes=waste.nbytes)
+            site_index += 1
             nbytes = plan.streamed_weights[name]
-            gate: list[int] = []
-            if len(computes) >= config.prefetch_window:
-                gate = [computes[-config.prefetch_window]]
-            fetch = ops.add(EngineKind.DMA_IN,
-                            config.vmem.transfer_time(nbytes),
-                            gate, tag=f"wfetch:{name}", nbytes=nbytes)
+            fetch = ops.add(EngineKind.DMA_IN, pricer(nbytes),
+                            fetch_gate(issue.gate_step),
+                            tag=f"wfetch:{name}", nbytes=nbytes)
             deps.append(fetch)
 
         compute = ops.add(EngineKind.COMPUTE,
@@ -195,13 +361,28 @@ def build_inference_ops(plan: InferencePlan,
     return ops
 
 
-def build_iteration_ops(plan: IterationPlan,
-                        config: SystemConfig) -> OpList:
-    """Emit the iteration's ops in dependency-consistent issue order."""
+def build_iteration_ops(plan: IterationPlan, config: SystemConfig,
+                        prefetch: PrefetchSchedule | None = None,
+                        pricer: Callable[[int], float] | None = None) \
+        -> OpList:
+    """Emit the iteration's ops in dependency-consistent issue order.
+
+    ``prefetch`` carries the active policy's issue plan (computed from
+    the config's ``prefetch_policy`` when omitted); the ``on-demand``
+    baseline reproduces the seed's gate structure and pricing
+    byte-for-byte.  Callers that already derived the DMA ``pricer``
+    (one O(layers) plan walk) can pass it to avoid recomputing.
+    """
+    if pricer is None:
+        pricer = iteration_pricer(plan, config)
+    if prefetch is None:
+        prefetch = plan_training_prefetch(plan, config, pricer)
+    waste_before = prefetch.waste_before()
     ops = OpList()
     device = config.device
     net = plan.net
     parts = plan.parts
+    site_index = 0
 
     fwd_ready: dict[str, int | None] = {}
     fwd_sync_uid: dict[str, int] = {}
@@ -251,8 +432,7 @@ def build_iteration_ops(plan: IterationPlan,
         # a gathered tensor only becomes complete after its collective.
         for producer in plan.step.prefetch_sites.get(name, ()):
             shard = plan.migrated_shards[producer]
-            uid = ops.add(EngineKind.DMA_OUT,
-                          config.vmem.transfer_time(shard),
+            uid = ops.add(EngineKind.DMA_OUT, pricer(shard),
                           [ready], tag=f"offload:{producer}",
                           nbytes=shard)
             offload_uid[producer] = uid
@@ -279,16 +459,24 @@ def build_iteration_ops(plan: IterationPlan,
             # The loss-side frontier starts once forward has finished.
             deps = [fwd_ready[name]]  # type: ignore[list-item]
 
-        # Prefetches feeding this backward step, throttled to a bounded
-        # lookahead so device memory is not flooded early.
-        gate: list[int] = []
-        if step_index >= config.prefetch_window:
-            gate = [bwd_computes[step_index - config.prefetch_window]]
+        # Prefetches feeding this backward step, gated per the active
+        # policy's issue plan (the legacy bounded lookahead under
+        # on-demand; earlier or later elsewhere on the axis).
         prefetch_ids = []
         for producer in plan.step.prefetch_sites.get(name, ()):
+            issue = prefetch.issues[site_index]
+            for waste in waste_before.get(site_index, ()):
+                waste_gate = ([] if waste.gate_step is None
+                              else [bwd_computes[waste.gate_step]])
+                ops.add(EngineKind.DMA_IN, pricer(waste.nbytes),
+                        waste_gate, tag=f"waste:{waste.label}",
+                        nbytes=waste.nbytes)
+            site_index += 1
+            gate = ([] if issue.gate_step is None
+                    else [bwd_computes[issue.gate_step]])
             shard = plan.migrated_shards[producer]
             prefetch_ids.append(ops.add(
-                EngineKind.DMA_IN, config.vmem.transfer_time(shard),
+                EngineKind.DMA_IN, pricer(shard),
                 gate + [offload_uid[producer]],
                 tag=f"prefetch:{producer}", nbytes=shard))
 

@@ -12,7 +12,9 @@ from __future__ import annotations
 from repro.core.metrics import (ExecutionMode, LatencyBreakdown,
                                 SimulationResult)
 from repro.core.schedule import (build_inference_ops, build_iteration_ops,
-                                 plan_inference, plan_iteration)
+                                 inference_pricer, iteration_pricer,
+                                 plan_inference, plan_inference_prefetch,
+                                 plan_iteration, plan_training_prefetch)
 from repro.core.system import SystemConfig
 from repro.core.timeline import (EngineKind, TimelineResult,
                                  run_timeline)
@@ -20,6 +22,7 @@ from repro.dnn.graph import Network
 from repro.dnn.registry import build_network
 from repro.host.cpu import CpuBandwidthUsage, socket_usage
 from repro.training.parallel import ParallelStrategy
+from repro.vmem.prefetch import collect_prefetch_stats
 
 DEFAULT_BATCH = 512
 
@@ -46,7 +49,10 @@ def simulate(config: SystemConfig, network: Network | str,
     if strategy is ParallelStrategy.PIPELINE:
         return _simulate_pipeline(config, net, batch)
     plan = plan_iteration(net, config, batch, strategy)
-    ops = build_iteration_ops(plan, config)
+    pricer = iteration_pricer(plan, config)
+    psched = plan_training_prefetch(plan, config, pricer)
+    ops = build_iteration_ops(plan, config, prefetch=psched,
+                              pricer=pricer)
     timeline = run_timeline(ops)
 
     breakdown = LatencyBreakdown(
@@ -74,6 +80,8 @@ def simulate(config: SystemConfig, network: Network | str,
         sync_bytes=plan.sync_bytes_per_iteration,
         host_traffic_bytes_per_device=host_traffic,
         fits_in_device_memory=footprint <= config.device.memory_capacity,
+        prefetch=collect_prefetch_stats(timeline, psched.policy,
+                                        evictions=psched.evictions),
     )
 
 
@@ -88,7 +96,10 @@ def _simulate_inference(config: SystemConfig, net: Network, batch: int,
     pushes nothing back.
     """
     plan = plan_inference(net, config, batch, strategy)
-    ops = build_inference_ops(plan, config)
+    pricer = inference_pricer(plan, config)
+    psched = plan_inference_prefetch(plan, config, pricer)
+    ops = build_inference_ops(plan, config, prefetch=psched,
+                              pricer=pricer)
     timeline = run_timeline(ops)
 
     breakdown = LatencyBreakdown(
@@ -114,6 +125,8 @@ def _simulate_inference(config: SystemConfig, net: Network, batch: int,
         host_traffic_bytes_per_device=host_traffic,
         fits_in_device_memory=footprint <= config.device.memory_capacity,
         mode=ExecutionMode.INFERENCE,
+        prefetch=collect_prefetch_stats(timeline, psched.policy,
+                                        evictions=psched.evictions),
     )
 
 
@@ -123,10 +136,15 @@ def _simulate_pipeline(config: SystemConfig, net: Network,
     spans every stage on its own engine channel."""
     # Imported lazily: repro.pipeline depends on repro.core.
     from repro.pipeline.lowering import (build_pipeline_ops,
-                                         pipeline_stats, plan_pipeline)
+                                         pipeline_pricer,
+                                         pipeline_stats, plan_pipeline,
+                                         plan_pipeline_prefetch)
 
     plan = plan_pipeline(net, config, batch)
-    ops = build_pipeline_ops(plan, config)
+    pricer = pipeline_pricer(plan, config)
+    psched = plan_pipeline_prefetch(plan, config, pricer)
+    ops = build_pipeline_ops(plan, config, prefetch=psched,
+                             pricer=pricer)
     timeline = run_timeline(ops)
     stats = pipeline_stats(plan, timeline)
 
@@ -153,6 +171,9 @@ def _simulate_pipeline(config: SystemConfig, net: Network,
         fits_in_device_memory=(plan.max_stage_footprint_bytes
                                <= config.device.memory_capacity),
         pipeline=stats,
+        prefetch=collect_prefetch_stats(
+            timeline, config.prefetch_policy,
+            evictions=sum(s.evictions for s in psched)),
     )
 
 

@@ -79,6 +79,28 @@ class VmemModel:
               else self.channel.peak_bw)
         return self.dma_setup + (nbytes / self.compression) / bw
 
+    def contended_transfer_time(self, nbytes: int,
+                                contended_fraction: float) -> float:
+        """One DMA priced with overlap-aware link sharing.
+
+        The virtualization channel rides the same links as collectives
+        and weight streaming; during the fraction of the iteration
+        those are active the DMA runs at ``concurrent_bw``, and at
+        ``peak_bw`` otherwise.  ``contended_fraction = 1`` recovers the
+        legacy always-contended pricing of :meth:`transfer_time`.
+        """
+        if not 0.0 <= contended_fraction <= 1.0:
+            raise ValueError("contended fraction must lie in [0, 1]")
+        if not self.enabled:
+            raise RuntimeError("oracle design has no migration channel")
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if nbytes == 0:
+            return 0.0
+        bw = (contended_fraction * self.channel.concurrent_bw
+              + (1.0 - contended_fraction) * self.channel.peak_bw)
+        return self.dma_setup + (nbytes / self.compression) / bw
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -106,8 +128,20 @@ class SystemConfig:
     #: campaign replacements stay JSON-trivial; parsed by
     #: :mod:`repro.pipeline.schedules`).
     pipeline_schedule: str = "1f1b"
+    #: Prefetch/eviction policy of the vmem offload path (a plain
+    #: string for the same campaign-replacement reason; resolved by
+    #: :func:`repro.vmem.prefetch.prefetch_policy`).  ``"on-demand"``
+    #: is the seed's hard-wired bounded lookahead, byte-for-byte.
+    prefetch_policy: str = "on-demand"
+    #: Stash capacity (outstanding prefetched-but-unconsumed tensors)
+    #: bounding the speculative policies; exceeding it forces eviction.
+    prefetch_stash: int = 8
 
     def __post_init__(self) -> None:
+        # Imported here: repro.vmem.prefetch is a leaf of the core
+        # layer and importing it at module scope would be circular for
+        # readers of repro.core.system's public names.
+        from repro.vmem.prefetch import PREFETCH_POLICY_ORDER
         if self.n_devices <= 0:
             raise ValueError("need at least one device")
         if self.collectives is None or self.vmem is None:
@@ -118,6 +152,12 @@ class SystemConfig:
             raise ValueError("pipeline_stages must be >= 0")
         if self.pipeline_microbatches < 1:
             raise ValueError("pipeline_microbatches must be >= 1")
+        if self.prefetch_policy not in PREFETCH_POLICY_ORDER:
+            raise ValueError(
+                f"unknown prefetch policy {self.prefetch_policy!r}; "
+                f"known: {', '.join(PREFETCH_POLICY_ORDER)}")
+        if self.prefetch_stash < 1:
+            raise ValueError("prefetch_stash must be >= 1")
 
     @property
     def virtualizes(self) -> bool:

@@ -38,7 +38,7 @@ _ENGINE_ROWS = {
 TAG_CATEGORIES: dict[str, str] = {
     "fwd": "compute", "bwd": "compute", "recompute": "compute",
     "offload": "migration", "prefetch": "migration",
-    "wfetch": "migration",
+    "wfetch": "migration", "waste": "migration",
     "sync-fwd": "collective", "sync-bwd": "collective",
     "sync-dw": "collective",
     "send-act": "pipeline", "send-grad": "pipeline",

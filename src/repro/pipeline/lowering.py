@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.collectives.ring_algorithm import Primitive
 from repro.core.metrics import PipelineStats
+from repro.core.schedule import vmem_pricer
 from repro.core.system import SystemConfig
 from repro.core.timeline import EngineKind, OpList, TimelineResult
 from repro.dnn.graph import Network
@@ -36,6 +37,8 @@ from repro.pipeline.partition import (PipelineStage, crossing_sends,
                                       stageable_layer_count)
 from repro.pipeline.schedules import (PipelineSchedule, ScheduleKind,
                                       build_schedule)
+from repro.vmem.prefetch import (FetchSite, PrefetchContext,
+                                 PrefetchSchedule, prefetch_policy)
 
 
 @dataclass(frozen=True)
@@ -213,14 +216,107 @@ def plan_pipeline(net: Network, config: SystemConfig,
         replicas=max(1, config.n_devices // n_stages))
 
 
-def build_pipeline_ops(plan: PipelinePlan,
-                       config: SystemConfig) -> OpList:
+def _stage_fetch_microbatches(plan: PipelinePlan,
+                              stage: StageWork) -> tuple[int, ...]:
+    """Offloaded microbatches of one stage, in backward-slot order."""
+    program = plan.schedule.program(stage.index)
+    order = [slot.microbatch for slot in program.slots
+             if not slot.is_forward]
+    return tuple(m for m in order if stage.offloaded[m])
+
+
+def _stage_bwd_position(plan: PipelinePlan,
+                        stage: StageWork) -> dict[int, int]:
+    """Microbatch -> index of its backward slot in program order."""
+    program = plan.schedule.program(stage.index)
+    order = [slot.microbatch for slot in program.slots
+             if not slot.is_forward]
+    return {m: pos for pos, m in enumerate(order)}
+
+
+def _pipeline_seconds(plan: PipelinePlan,
+                      config: SystemConfig) -> tuple[float, float]:
+    """(compute, communication) seconds of one pipeline iteration."""
+    n_microbatches = plan.schedule.n_microbatches
+    compute = sum((stage.fwd_time + stage.bwd_time) * n_microbatches
+                  for stage in plan.stages)
+    comm = 0.0
+    for stage in plan.stages:
+        for _, nbytes in stage.sends:
+            comm += 2 * n_microbatches * _p2p_time(config, nbytes)
+        if plan.replicas > 1 and stage.weight_bytes:
+            comm += config.collectives.time(Primitive.ALL_REDUCE,
+                                            stage.weight_bytes)
+    return compute, comm
+
+
+def pipeline_pricer(plan: PipelinePlan, config: SystemConfig):
+    """The stash-DMA pricer of one pipeline iteration."""
+    compute, comm = _pipeline_seconds(plan, config)
+    return vmem_pricer(config, compute, comm)
+
+
+def plan_pipeline_prefetch(plan: PipelinePlan, config: SystemConfig,
+                           pricer=None) \
+        -> tuple[PrefetchSchedule, ...]:
+    """Run the configured prefetch policy over every stage's stash.
+
+    Each stage owns a private DMA channel, so the policy plans each
+    stage independently: the fetch sites are the stage's offloaded
+    microbatches in backward-slot order, and the step estimates are the
+    stage's per-microbatch backward time.
+    """
+    if pricer is None:
+        pricer = pipeline_pricer(plan, config)
+    policy = prefetch_policy(config.prefetch_policy)
+    schedules = []
+    for stage in plan.stages:
+        positions = _stage_bwd_position(plan, stage)
+        n_steps = len(positions)
+        sites = []
+        fetch_seconds = []
+        for m in _stage_fetch_microbatches(plan, stage):
+            sites.append(FetchSite(producer=f"s{stage.index}:m{m}",
+                                   use_step=positions[m],
+                                   nbytes=stage.stash_bytes))
+            fetch_seconds.append(pricer(stage.stash_bytes))
+        ctx = PrefetchContext(
+            n_steps=n_steps, sites=tuple(sites),
+            step_seconds=tuple(stage.bwd_time
+                               for _ in range(n_steps)),
+            fetch_seconds=tuple(fetch_seconds),
+            window=config.prefetch_window,
+            stash=config.prefetch_stash)
+        schedules.append(policy.plan(ctx))
+    return tuple(schedules)
+
+
+def build_pipeline_ops(plan: PipelinePlan, config: SystemConfig,
+                       prefetch: tuple[PrefetchSchedule, ...] | None
+                       = None, pricer=None) -> OpList:
     """Emit the pipeline's ops; stage *s* runs on timeline channel *s*.
 
     Emission walks every stage's program in slot order, interleaving
     stages as cross-stage dependencies allow, so per-channel issue
     order equals program order (engines execute in issue order).
+    Stash prefetches are gated per the active policy's per-stage issue
+    plan (the legacy bounded lookahead under ``on-demand``).
     """
+    if pricer is None:
+        pricer = pipeline_pricer(plan, config)
+    if prefetch is None:
+        prefetch = plan_pipeline_prefetch(plan, config, pricer)
+    # Per stage: microbatch -> (its fetch issue, the waste emitted
+    # just before it).
+    stage_issue: list[dict[int, object]] = []
+    stage_waste: list[dict[int, tuple]] = []
+    for stage, sched in zip(plan.stages, prefetch):
+        order = _stage_fetch_microbatches(plan, stage)
+        waste_before = sched.waste_before()
+        stage_issue.append({m: sched.issues[i]
+                            for i, m in enumerate(order)})
+        stage_waste.append({m: waste_before.get(i, ())
+                            for i, m in enumerate(order)})
     ops = OpList()
     schedule = plan.schedule
     n_stages = schedule.n_stages
@@ -257,7 +353,7 @@ def build_pipeline_ops(plan: PipelinePlan,
         if stage.offloaded[m]:
             uid_off = ops.add(
                 EngineKind.DMA_OUT,
-                config.vmem.transfer_time(stage.stash_bytes), [uid],
+                pricer(stage.stash_bytes), [uid],
                 tag=f"offload:s{s}:m{m}", nbytes=stage.stash_bytes,
                 channel=s)
             offload_uid[(s, m)] = uid_off
@@ -271,13 +367,20 @@ def build_pipeline_ops(plan: PipelinePlan,
             # The loss-side stage turns around on its own forward.
             deps = [fwd_uid[(s, m)]]
         if stage.offloaded[m]:
-            # Bounded prefetch lookahead relative to backward progress.
-            step = len(bwd_uids[s])
-            gate = ([bwd_uids[s][step - config.prefetch_window]]
-                    if step >= config.prefetch_window else [])
+            # Prefetch gated per the policy's issue plan for this
+            # stage (legacy bounded lookahead under on-demand).
+            issue = stage_issue[s][m]
+            for waste in stage_waste[s][m]:
+                waste_gate = ([] if waste.gate_step is None
+                              else [bwd_uids[s][waste.gate_step]])
+                ops.add(EngineKind.DMA_IN, pricer(waste.nbytes),
+                        waste_gate, tag=f"waste:{waste.label}",
+                        nbytes=waste.nbytes, channel=s)
+            gate = ([] if issue.gate_step is None
+                    else [bwd_uids[s][issue.gate_step]])
             deps.append(ops.add(
                 EngineKind.DMA_IN,
-                config.vmem.transfer_time(stage.stash_bytes),
+                pricer(stage.stash_bytes),
                 gate + [offload_uid[(s, m)]],
                 tag=f"prefetch:s{s}:m{m}", nbytes=stage.stash_bytes,
                 channel=s))

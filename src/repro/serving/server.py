@@ -324,4 +324,5 @@ def simulate_serving(config: SystemConfig, network: str, *,
         fits_in_device_memory=shape.fits_in_device_memory,
         mode=ExecutionMode.SERVING,
         serving=stats,
+        prefetch=shape.prefetch,
     )

@@ -1,0 +1,266 @@
+"""Differential guards for the prefetch-policy refactor.
+
+Two contracts from the issue:
+
+* the ``on-demand`` policy must reproduce the seed's schedules --
+  gate structure and legacy DMA pricing -- byte-for-byte (the golden
+  figure snapshots in ``tests/golden/`` pin the resulting numbers, and
+  the structural tests here pin the mechanism);
+* the ``clairvoyant`` oracle must weakly dominate every other policy
+  on stall seconds across the full design x network matrix, and
+  strictly beat on-demand on every memory-centric design for the
+  convolutional stress workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.design_points import DESIGN_ORDER, design_point
+from repro.core.metrics import ExecutionMode
+from repro.core.schedule import (build_iteration_ops, plan_iteration,
+                                 plan_training_prefetch)
+from repro.core.simulator import simulate
+from repro.core.system import SystemConfig
+from repro.dnn.registry import BENCHMARK_NAMES, build_network
+from repro.training.parallel import ParallelStrategy
+from repro.vmem.prefetch import ON_DEMAND, PREFETCH_POLICY_ORDER
+
+MC_DESIGNS = ("MC-DLA(S)", "MC-DLA(L)", "MC-DLA(B)")
+CONV_NETWORKS = ("AlexNet", "GoogLeNet", "VGG-E", "ResNet")
+
+
+def with_policy(config: SystemConfig, policy: str) -> SystemConfig:
+    return dataclasses.replace(config, prefetch_policy=policy)
+
+
+@pytest.fixture(scope="module")
+def policy_matrix():
+    """(design, network, policy) -> SimulationResult, full matrix."""
+    results = {}
+    for design in DESIGN_ORDER:
+        base = design_point(design)
+        for network in BENCHMARK_NAMES:
+            for policy in PREFETCH_POLICY_ORDER:
+                results[(design, network, policy)] = simulate(
+                    with_policy(base, policy), network, 256)
+    return results
+
+
+class TestOnDemandIsTheSeed:
+    """The refactor's baseline is structurally the seed's scheduler."""
+
+    def test_default_policy_is_on_demand(self):
+        assert design_point("DC-DLA").prefetch_policy == ON_DEMAND
+
+    @pytest.mark.parametrize("design", ("DC-DLA", "MC-DLA(B)"))
+    @pytest.mark.parametrize("network", ("AlexNet", "GoogLeNet"))
+    def test_on_demand_gates_and_pricing_match_seed(self, design,
+                                                    network):
+        """Re-derive the seed's emission inline and compare op-for-op.
+
+        The seed gated each backward-step prefetch on the compute of
+        ``prefetch_window`` steps earlier and priced every DMA at the
+        always-contended ``vmem.transfer_time``.
+        """
+        config = design_point(design)
+        net_plan = plan_iteration(build_network(network), config, 256,
+                                  ParallelStrategy.DATA)
+        ops = build_iteration_ops(net_plan, config)
+
+        uid_of = {op.uid: op for op in ops.ops}
+        bwd_computes = [op.uid for op in ops.ops
+                        if op.tag.startswith("bwd:")]
+        step_of = {uid_of[uid].tag.split(":", 1)[1]: index
+                   for index, uid in enumerate(bwd_computes)}
+        offload_of = {op.tag.split(":", 1)[1]: op.uid
+                      for op in ops.ops
+                      if op.tag.startswith("offload:")}
+
+        prefetches = [op for op in ops.ops
+                      if op.tag.startswith("prefetch:")]
+        assert prefetches, "stress test must offload something"
+        for op in prefetches:
+            producer = op.tag.split(":", 1)[1]
+            # Seed pricing: always-contended transfer time.
+            assert op.duration == config.vmem.transfer_time(op.nbytes)
+            # Seed gating: the offload plus (step - window)'s compute.
+            consumer = net_plan.step.prefetch_sites
+            use_step = next(step_of[name]
+                            for name, producers in consumer.items()
+                            if producer in producers)
+            expected = {offload_of[producer]}
+            if use_step >= config.prefetch_window:
+                expected.add(
+                    bwd_computes[use_step - config.prefetch_window])
+            assert set(op.deps) == expected
+        # No speculative traffic on the baseline.
+        assert not any(op.tag.startswith("waste:") for op in ops.ops)
+
+    def test_explicit_schedule_matches_implicit(self):
+        config = design_point("MC-DLA(B)")
+        plan = plan_iteration(build_network("AlexNet"), config, 256,
+                              ParallelStrategy.DATA)
+        sched = plan_training_prefetch(plan, config)
+        implicit = build_iteration_ops(plan, config)
+        explicit = build_iteration_ops(plan, config, prefetch=sched)
+        assert implicit.ops == explicit.ops
+
+    def test_on_demand_result_round_trips_exactly(self, policy_matrix):
+        result = policy_matrix[("MC-DLA(B)", "VGG-E", ON_DEMAND)]
+        from repro.core.metrics import SimulationResult
+        replayed = SimulationResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert replayed == result
+        assert replayed.prefetch == result.prefetch
+
+
+class TestClairvoyantDominance:
+    def test_weakly_dominates_everywhere(self, policy_matrix):
+        """Oracle stall <= every policy's stall on every cell."""
+        for design in DESIGN_ORDER:
+            for network in BENCHMARK_NAMES:
+                oracle = policy_matrix[(design, network,
+                                        "clairvoyant")]
+                for policy in PREFETCH_POLICY_ORDER:
+                    other = policy_matrix[(design, network, policy)]
+                    assert (oracle.prefetch.stall_seconds
+                            <= other.prefetch.stall_seconds + 1e-12), \
+                        (design, network, policy)
+
+    def test_weakly_dominates_on_iteration_time(self, policy_matrix):
+        for design in DESIGN_ORDER:
+            for network in BENCHMARK_NAMES:
+                oracle = policy_matrix[(design, network,
+                                        "clairvoyant")]
+                for policy in PREFETCH_POLICY_ORDER:
+                    other = policy_matrix[(design, network, policy)]
+                    assert (oracle.iteration_time
+                            <= other.iteration_time + 1e-12), \
+                        (design, network, policy)
+
+    def test_strictly_beats_on_demand_on_mc_designs(self,
+                                                    policy_matrix):
+        """The acceptance headline, on the convolutional stress set."""
+        for design in MC_DESIGNS:
+            for network in CONV_NETWORKS:
+                oracle = policy_matrix[(design, network,
+                                        "clairvoyant")]
+                baseline = policy_matrix[(design, network, ON_DEMAND)]
+                assert (oracle.prefetch.stall_seconds
+                        < baseline.prefetch.stall_seconds), \
+                    (design, network)
+
+    def test_oracle_never_wastes_or_evicts(self, policy_matrix):
+        for (_, _, policy), result in policy_matrix.items():
+            if policy == "clairvoyant":
+                assert result.prefetch.wasted_bytes == 0
+                assert result.prefetch.evictions == 0
+
+
+class TestPolicyAxisInvariants:
+    def test_hit_rate_and_histogram_consistent(self, policy_matrix):
+        for result in policy_matrix.values():
+            stats = result.prefetch
+            assert 0.0 <= stats.hit_rate <= 1.0
+            assert stats.late + stats.jit + stats.early \
+                == stats.n_prefetches
+            assert stats.wasted_bytes <= stats.prefetch_bytes
+
+    def test_oracle_design_has_no_prefetch_traffic(self,
+                                                   policy_matrix):
+        for policy in PREFETCH_POLICY_ORDER:
+            result = policy_matrix[("DC-DLA(O)", "VGG-E", policy)]
+            assert result.prefetch.n_prefetches == 0
+            assert result.prefetch.prefetch_bytes == 0
+            assert result.prefetch.stall_seconds == 0.0
+
+    def test_policy_recorded_in_stats(self, policy_matrix):
+        for (_, _, policy), result in policy_matrix.items():
+            assert result.prefetch.policy == policy
+
+
+class TestOtherModes:
+    @pytest.mark.parametrize("policy", PREFETCH_POLICY_ORDER)
+    def test_pipeline_carries_stats_and_oracle_dominates(self, policy):
+        config = with_policy(design_point("MC-DLA(B)"), policy)
+        result = simulate(config, "GPT2", 64,
+                          ParallelStrategy.PIPELINE)
+        assert result.prefetch is not None
+        assert result.prefetch.policy == policy
+        oracle = simulate(with_policy(design_point("MC-DLA(B)"),
+                                      "clairvoyant"),
+                          "GPT2", 64, ParallelStrategy.PIPELINE)
+        assert oracle.prefetch.stall_seconds \
+            <= result.prefetch.stall_seconds + 1e-12
+
+    @pytest.mark.parametrize("policy", PREFETCH_POLICY_ORDER)
+    def test_inference_weight_stream_is_policy_gated(self, policy):
+        config = with_policy(design_point("DC-DLA"), policy)
+        result = simulate(config, "GPT2", 8,
+                          mode=ExecutionMode.INFERENCE)
+        assert result.prefetch is not None
+        assert result.prefetch.n_prefetches > 0
+        oracle = simulate(with_policy(design_point("DC-DLA"),
+                                      "clairvoyant"),
+                          "GPT2", 8, mode=ExecutionMode.INFERENCE)
+        assert oracle.prefetch.stall_seconds \
+            <= result.prefetch.stall_seconds + 1e-12
+
+    def test_contention_pricing_never_slower_than_legacy(self):
+        """Policy-engine DMAs ride the blended bandwidth >= the
+        always-contended legacy bandwidth, so vmem busy time can only
+        shrink when moving off the baseline."""
+        for design in ("DC-DLA", "MC-DLA(B)"):
+            base = design_point(design)
+            legacy = simulate(base, "VGG-E", 256)
+            refined = simulate(with_policy(base, "cost-model"),
+                               "VGG-E", 256)
+            assert refined.breakdown.vmem \
+                <= legacy.breakdown.vmem + 1e-12
+
+    def test_waste_ops_tagged_migration_in_trace(self):
+        from repro.core.trace import tag_category
+        assert tag_category("waste:mispredict:x", strict=True) \
+            == "migration"
+
+
+class TestClusterExposure:
+    def test_on_demand_exposure_is_conservative(self):
+        from repro.cluster.oracle import CostOracle
+        from repro.cluster.jobs import generate_jobs
+        config = design_point("MC-DLA(B)")
+        spec = generate_jobs("balanced", 4, seed=0,
+                             arrival_rate=0.05, node_width=8)[0]
+        profile = CostOracle(config).profile(spec)
+        assert profile.exposure == 1.0
+
+    def test_smarter_policy_reduces_exposure(self):
+        from repro.cluster.oracle import CostOracle
+        from repro.cluster.jobs import generate_jobs
+        base = design_point("MC-DLA(B)")
+        specs = generate_jobs("balanced", 6, seed=0,
+                              arrival_rate=0.05, node_width=8)
+        spec = next(s for s in specs if s.kind.value == "training")
+        on_demand = CostOracle(base).profile(spec)
+        oracle = CostOracle(with_policy(base,
+                                        "clairvoyant")).profile(spec)
+        assert oracle.exposure < on_demand.exposure
+
+    def test_exposure_scales_spill_dilation(self):
+        from repro.cluster.pool import spill_dilation
+        from repro.cluster.oracle import CostOracle
+        from repro.cluster.jobs import generate_jobs
+        base = design_point("MC-DLA(B)")
+        specs = generate_jobs("balanced", 6, seed=0,
+                              arrival_rate=0.05, node_width=8)
+        spec = next(s for s in specs if s.kind.value == "training")
+        slow = CostOracle(base).profile(spec)
+        fast = CostOracle(with_policy(base,
+                                      "clairvoyant")).profile(spec)
+        assert spill_dilation(fast, 0.5, 4.0) \
+            < spill_dilation(slow, 0.5, 4.0)
+        assert spill_dilation(fast, 0.5, 4.0) >= 1.0
