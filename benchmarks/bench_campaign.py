@@ -15,6 +15,7 @@ import time
 from conftest import emit
 
 from repro.campaign import ResultCache, run_campaign
+from repro.core import pricing
 from repro.experiments.matrix import evaluation_points
 from repro.experiments.report import format_table
 
@@ -31,8 +32,20 @@ def _timed(label: str, fn) -> None:
 
 
 def test_campaign_cold_serial(benchmark):
+    # Cold means cold: the session-scoped figure benches (and any
+    # earlier round) leave the process-wide pricing memos hot, which
+    # would time cache replay instead of simulation.
     benchmark.pedantic(
         lambda: _timed("cold serial (jobs=1)",
+                       lambda: run_campaign(_POINTS, jobs=1)),
+        setup=pricing.clear_caches, rounds=1, iterations=1)
+
+
+def test_campaign_warm_serial(benchmark):
+    # Runs after cold (file order): the memos the cold round populated
+    # stay hot, so this measures the memoized steady state.
+    benchmark.pedantic(
+        lambda: _timed("warm serial (jobs=1)",
                        lambda: run_campaign(_POINTS, jobs=1)),
         rounds=1, iterations=1)
 

@@ -11,6 +11,18 @@ consistent numbers, exactly like a single simulator campaign would.
 terminal (bypassing pytest's capture, so ``pytest benchmarks/
 --benchmark-only | tee bench_output.txt`` records the paper's
 rows/series) and to ``benchmarks/results/<id>.txt`` for later diffing.
+
+The disk cache (and the in-process pricing memos of
+:mod:`repro.core.pricing`) means a timing taken here can measure
+*cache replay*, not simulation.  That is intended for the figure
+benches -- their job is reproducing the paper's tables consistently --
+but any benchmark claiming to measure simulation cost must say which
+side it is on: cold variants clear the pricing memos in their setup
+hook (``benchmark.pedantic(..., setup=pricing.clear_caches)``) and
+avoid the disk cache; warm variants keep both hot on purpose.  The
+committed ``BENCH_*.json`` baselines are produced by ``python -m
+repro bench``, which runs cold with ``cache=None`` and never touches
+``benchmarks/.cache``.
 """
 
 from __future__ import annotations

@@ -6,6 +6,7 @@ Usage::
     python -m repro fig13
     python -m repro all
     python -m repro campaign --jobs 8 --networks VGG-E
+    python -m repro bench --quick
     python -m repro trace "MC-DLA(B)" GPT2 --strategy pipeline
 """
 
@@ -264,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
         print("       python -m repro serve [options]")
         print("       python -m repro cluster [options]")
         print("       python -m repro prefetch [options]")
+        print("       python -m repro bench [--quick] [--update]")
         print("       python -m repro trace <design> <network> [options]")
         print("experiments:")
         for key, (title, _) in EXPERIMENTS.items():
@@ -276,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
               "queueing, pool utilization (--help for options)")
         print("  prefetch     prefetch policies x designs x modes: "
               "stall, waste, evictions (--help for options)")
+        print("  bench        time the simulator, diff against the "
+              "committed BENCH_*.json baselines (--help for options)")
         print("  trace        Chrome/Perfetto trace of one iteration "
               "(--help for options)")
         return 0
@@ -294,6 +298,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args[0] == "prefetch":
         return _prefetch_main(args[1:])
+
+    if args[0] == "bench":
+        from repro.bench import main as bench_main
+        return bench_main(args[1:])
 
     if args[0] == "trace":
         return _trace_main(args[1:])

@@ -124,8 +124,10 @@ def grid(designs, networks, batches=(512,),
          strategies=(ParallelStrategy.DATA,)) -> tuple[CampaignPoint, ...]:
     """The cross product of the four axes, in presentation order.
 
-    Iterates strategy-major then network then design, matching the
-    paper's evaluation-matrix ordering.
+    ``designs`` are design-point factory names and ``networks``
+    registry names; ``batches`` are sample counts.  Iterates
+    strategy-major then network then design, matching the paper's
+    evaluation-matrix ordering.
     """
     points = []
     for strategy in strategies:

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.jobs import SERVING_REQUESTS, JobKind, JobSpec
+from repro.core import pricing
 from repro.core.metrics import SimulationResult
 from repro.core.simulator import simulate
 from repro.core.system import SystemConfig
@@ -105,24 +106,34 @@ class CostOracle:
         self._memo: dict[tuple, SimulationResult] = {}
 
     def _result(self, spec: JobSpec) -> SimulationResult:
+        # Two memo tiers: the per-instance dict (the seed's behavior)
+        # and the process-wide pricing memo, which shares one priced
+        # job class across every oracle of the same design point --
+        # each scheduling policy builds its own oracle, so without
+        # sharing the comparison re-simulates every class per policy.
         if spec.kind is JobKind.SERVING:
             key = ("serving", spec.network, spec.batch, spec.rate,
                    spec.trace_seed)
             if key not in self._memo:
-                # Imported lazily: repro.serving depends on repro.core.
-                from repro.serving.server import simulate_serving
-                self._memo[key] = simulate_serving(
-                    self.config, spec.network, rate=spec.rate,
-                    n_requests=SERVING_REQUESTS, seed=spec.trace_seed,
-                    max_batch=spec.batch)
+                def run() -> SimulationResult:
+                    # Imported lazily: serving depends on repro.core.
+                    from repro.serving.server import simulate_serving
+                    return simulate_serving(
+                        self.config, spec.network, rate=spec.rate,
+                        n_requests=SERVING_REQUESTS,
+                        seed=spec.trace_seed, max_batch=spec.batch)
+                self._memo[key] = pricing.cached_cluster_cell(
+                    self.config, key, run)
             return self._memo[key]
         strategy = (ParallelStrategy.PIPELINE
                     if spec.kind is JobKind.PIPELINE
                     else ParallelStrategy.DATA)
         key = (spec.kind.value, spec.network, spec.batch)
         if key not in self._memo:
-            self._memo[key] = simulate(self.config, spec.network,
-                                       spec.batch, strategy)
+            self._memo[key] = pricing.cached_cluster_cell(
+                self.config, key,
+                lambda: simulate(self.config, spec.network, spec.batch,
+                                 strategy))
         return self._memo[key]
 
     def profile(self, spec: JobSpec) -> JobProfile:

@@ -434,7 +434,12 @@ class ClusterStats:
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """One (design point, network, batch, strategy) simulation."""
+    """One (design point, network, batch, strategy) simulation.
+
+    ``iteration_time`` and every :class:`LatencyBreakdown` component
+    are seconds; ``offload_bytes_per_device``, ``sync_bytes``, and
+    ``host_traffic_bytes_per_device`` are bytes per iteration.
+    """
 
     system: str
     network: str

@@ -1,0 +1,321 @@
+"""Columnar (struct-of-arrays) op tables: the vectorized simulator core.
+
+The scalar reference core (:mod:`repro.core.timeline`) materializes one
+frozen :class:`~repro.core.timeline.Op` dataclass per operation and one
+:class:`~repro.core.timeline.ScheduledOp` per scheduling decision.
+That is the right shape for tests and trace export, but a campaign
+grid schedules hundreds of thousands of ops, and per-op Python objects
+(allocation, ``__post_init__`` validation, attribute walks) dominate
+the wall clock long before the arithmetic does.
+
+This module keeps the *data* in parallel columns instead:
+
+* :class:`OpTable` -- an append-only struct-of-arrays op container with
+  the exact ``add()`` signature of :class:`~repro.core.timeline.OpList`,
+  so every emitter works against either sink unchanged;
+* :func:`schedule_table` -- the same deterministic list-scheduler
+  recurrence as :func:`~repro.core.timeline.run_timeline`, run as a
+  tight loop over the columns (the recurrence is a sequential
+  dependency chain, so a numpy level-sweep would lose: the evaluated
+  graphs average under two ops per dependency level);
+* :class:`ColumnarTimeline` -- the scheduled result, duck-compatible
+  with :class:`~repro.core.timeline.TimelineResult` (``makespan``,
+  ``busy``, ``busy_per_channel``, ``busy_time``, ``finish_of``,
+  ``ops_on``, ``channels``, and a lazily materialized ``scheduled``
+  tuple for trace export), plus :meth:`ColumnarTimeline.as_arrays`
+  exposing the columns as numpy arrays for vectorized consumers
+  (:func:`repro.vmem.prefetch.collect_prefetch_stats` prices its
+  DMA/collective overlap on them).
+
+Byte-identity is the contract: every float produced here -- start and
+finish times, busy sums, the makespan -- is computed with the same
+IEEE-754 operations in the same order as the scalar core, so golden
+snapshots and differential tests compare *exactly* equal, not merely
+close.  ``REPRO_SCALAR_CORE=1`` in the environment selects the scalar
+core everywhere (emitters return :class:`OpList`, schedulers run
+:func:`run_timeline`, pricing memoization is bypassed) for bisection.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.core.timeline import (EngineKind, Op, OpList, ScheduledOp,
+                                 TimelineResult, run_timeline)
+
+#: Environment variable selecting the scalar reference core.
+SCALAR_CORE_ENV = "REPRO_SCALAR_CORE"
+
+#: Stable integer codes for the four engine kinds (column dtype int8).
+ENGINE_CODE: dict[EngineKind, int] = {
+    EngineKind.COMPUTE: 0,
+    EngineKind.DMA_OUT: 1,
+    EngineKind.DMA_IN: 2,
+    EngineKind.COMM: 3,
+}
+
+#: Inverse of :data:`ENGINE_CODE`, indexable by code.
+CODE_ENGINE: tuple[EngineKind, ...] = tuple(
+    sorted(ENGINE_CODE, key=ENGINE_CODE.__getitem__))
+
+
+def scalar_core_enabled() -> bool:
+    """True when ``REPRO_SCALAR_CORE`` selects the scalar reference core.
+
+    Read dynamically on every call (not cached at import) so tests and
+    the bench harness can flip the escape hatch per invocation.
+    """
+    return os.environ.get(SCALAR_CORE_ENV, "") not in ("", "0")
+
+
+class OpTable:
+    """Struct-of-arrays op container, ``add()``-compatible with
+    :class:`~repro.core.timeline.OpList`.
+
+    Columns are plain Python lists while the table is being built
+    (appends are the hot path); :meth:`ColumnarTimeline.as_arrays`
+    freezes them to numpy arrays after scheduling.  Validation matches
+    :class:`~repro.core.timeline.Op` exactly, so invalid emissions fail
+    identically on either sink.
+    """
+
+    __slots__ = ("engines", "codes", "durations", "deps", "tags",
+                 "nbytes", "channels", "_ops")
+
+    def __init__(self) -> None:
+        self.engines: list[EngineKind] = []
+        #: Parallel :data:`ENGINE_CODE` ints -- the scheduler keys its
+        #: slot dicts on these (int hashing beats enum hashing by an
+        #: order of magnitude over a campaign's worth of ops).
+        self.codes: list[int] = []
+        self.durations: list[float] = []
+        self.deps: list[tuple[int, ...]] = []
+        self.tags: list[str] = []
+        self.nbytes: list[int] = []
+        self.channels: list[int] = []
+        self._ops: list[Op] | None = None
+
+    def add(self, engine: EngineKind, duration: float, deps: list[int],
+            tag: str, nbytes: int = 0, channel: int = 0) -> int:
+        """Append one op; returns its uid (dense, in issue order)."""
+        uid = len(self.durations)
+        if duration < 0:
+            raise ValueError(f"op {tag}: negative duration")
+        if nbytes < 0:
+            raise ValueError(f"op {tag}: negative byte count")
+        if channel < 0:
+            raise ValueError(f"op {tag}: negative channel")
+        dep_tuple = tuple(deps)
+        if dep_tuple and max(dep_tuple) >= uid:
+            raise ValueError(
+                f"op {tag}: dependency on a later op (cycle)")
+        self.engines.append(engine)
+        self.codes.append(ENGINE_CODE[engine])
+        self.durations.append(duration)
+        self.deps.append(dep_tuple)
+        self.tags.append(tag)
+        self.nbytes.append(nbytes)
+        self.channels.append(channel)
+        self._ops = None
+        return uid
+
+    def __len__(self) -> int:
+        return len(self.durations)
+
+    @property
+    def ops(self) -> list[Op]:
+        """Materialized :class:`Op` view (lazily built, then cached).
+
+        Exists so scalar consumers -- :func:`run_timeline`, tests that
+        introspect tags/deps -- accept an :class:`OpTable` anywhere an
+        :class:`OpList` is expected.
+        """
+        if self._ops is None or len(self._ops) != len(self.durations):
+            self._ops = [
+                Op(uid=i, engine=self.engines[i],
+                   duration=self.durations[i], deps=self.deps[i],
+                   tag=self.tags[i], nbytes=self.nbytes[i],
+                   channel=self.channels[i])
+                for i in range(len(self.durations))]
+        return self._ops
+
+
+class ColumnarTimeline:
+    """Scheduled outcome of an :class:`OpTable` (vectorized core).
+
+    Duck-compatible with :class:`~repro.core.timeline.TimelineResult`:
+    exposes the same ``makespan`` / ``busy`` / ``busy_per_channel``
+    attributes and ``finish_of`` / ``busy_time`` / ``ops_on`` /
+    ``channels`` / ``scheduled`` surface, with identical float values.
+    ``scheduled`` materializes per-op objects lazily, so consumers that
+    never iterate ops (the ``simulate()`` fast path) never pay for
+    them; :meth:`as_arrays` serves vectorized consumers instead.
+    """
+
+    __slots__ = ("table", "start", "finish", "prev_slot_finish",
+                 "makespan", "busy", "busy_per_channel", "_scheduled",
+                 "_arrays")
+
+    def __init__(self, table: OpTable, start: list[float],
+                 finish: list[float], prev_slot_finish: list[float],
+                 makespan: float, busy: dict[EngineKind, float],
+                 busy_per_channel: dict[tuple[EngineKind, int], float]) \
+            -> None:
+        self.table = table
+        self.start = start
+        self.finish = finish
+        #: Per op: the finish time of the previous op on its
+        #: (engine, channel) slot, 0.0 for the slot's first op.  The
+        #: prefetch-stats collector needs it to separate engine
+        #: serialization from dependency stalls.
+        self.prev_slot_finish = prev_slot_finish
+        self.makespan = makespan
+        self.busy = busy
+        self.busy_per_channel = busy_per_channel
+        self._scheduled: tuple[ScheduledOp, ...] | None = None
+        self._arrays: dict[str, np.ndarray] | None = None
+
+    # -- TimelineResult surface ------------------------------------------
+
+    @property
+    def scheduled(self) -> tuple[ScheduledOp, ...]:
+        """Per-op schedule as :class:`ScheduledOp` objects (lazy)."""
+        if self._scheduled is None:
+            ops = self.table.ops
+            self._scheduled = tuple(
+                ScheduledOp(op=ops[i], start=self.start[i],
+                            finish=self.finish[i])
+                for i in range(len(ops)))
+        return self._scheduled
+
+    def finish_of(self, uid: int) -> float:
+        """Finish time (seconds) of the op with this uid."""
+        return self.finish[uid]
+
+    def ops_on(self, engine: EngineKind,
+               channel: int | None = None) -> list[ScheduledOp]:
+        """Scheduled ops of one engine (optionally one channel)."""
+        return [s for s in self.scheduled if s.op.engine is engine
+                and (channel is None or s.op.channel == channel)]
+
+    def busy_time(self, engine: EngineKind,
+                  channel: int | None = None) -> float:
+        """Total seconds the engine executed ops (optionally per
+        channel)."""
+        if channel is None:
+            return self.busy.get(engine, 0.0)
+        return self.busy_per_channel.get((engine, channel), 0.0)
+
+    @property
+    def channels(self) -> tuple[int, ...]:
+        """Channel indices present, ascending (SPMD timelines: (0,))."""
+        return tuple(sorted(set(self.table.channels))) or (0,)
+
+    # -- Vectorized surface ----------------------------------------------
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """The schedule as numpy struct-of-arrays (cached).
+
+        Keys: ``engine`` (int8 :data:`ENGINE_CODE` codes), ``duration``
+        / ``start`` / ``finish`` / ``prev_slot_finish`` (float64
+        seconds), ``nbytes`` (int64), ``channel`` (int32).  float64
+        conversion is value-preserving, so vectorized consumers see the
+        exact scheduled times.
+        """
+        if self._arrays is None:
+            t = self.table
+            self._arrays = {
+                "engine": np.asarray(t.codes, dtype=np.int8),
+                "duration": np.asarray(t.durations, dtype=np.float64),
+                "nbytes": np.asarray(t.nbytes, dtype=np.int64),
+                "channel": np.asarray(t.channels, dtype=np.int32),
+                "start": np.asarray(self.start, dtype=np.float64),
+                "finish": np.asarray(self.finish, dtype=np.float64),
+                "prev_slot_finish": np.asarray(self.prev_slot_finish,
+                                               dtype=np.float64),
+            }
+        return self._arrays
+
+
+def schedule_table(table: OpTable) -> ColumnarTimeline:
+    """List-schedule an :class:`OpTable`; byte-identical to
+    :func:`~repro.core.timeline.run_timeline` on the same ops.
+
+    The recurrence (op start = max of engine-free time and dependency
+    finishes) is a sequential chain, so it runs as one tight loop over
+    the columns; ``max`` and ``+`` on float64 are order-stable, and
+    busy times accumulate in uid order exactly as the scalar core does.
+    """
+    codes = table.codes
+    durations = table.durations
+    deps = table.deps
+    tab_channels = table.channels
+
+    # Slot state indexed by engine code; dict keys are plain-int
+    # channels (the enum-keyed dicts of the scalar core hash the enum
+    # several times per op -- measurable over a campaign grid).
+    free_by_code: list[dict[int, float]] = [{}, {}, {}, {}]
+    busy_by_code: list[float] = [0.0, 0.0, 0.0, 0.0]
+    busy_ch_by_code: list[dict[int, float]] = [{}, {}, {}, {}]
+    finish: list[float] = []
+    start: list[float] = []
+    prev_slot: list[float] = []
+    finish_append = finish.append
+    start_append = start.append
+    prev_append = prev_slot.append
+
+    for i in range(len(durations)):
+        ready = 0.0
+        for d in deps[i]:
+            f = finish[d]
+            if f > ready:
+                ready = f
+        code = codes[i]
+        channel = tab_channels[i]
+        slots = free_by_code[code]
+        free = slots.get(channel, 0.0)
+        begin = free if free > ready else ready
+        duration = durations[i]
+        end = begin + duration
+        slots[channel] = end
+        busy_by_code[code] += duration
+        busy_ch = busy_ch_by_code[code]
+        busy_ch[channel] = busy_ch.get(channel, 0.0) + duration
+        prev_append(free)
+        start_append(begin)
+        finish_append(end)
+
+    busy = {engine: busy_by_code[code]
+            for engine, code in ENGINE_CODE.items()}
+    busy_per_channel = {
+        (CODE_ENGINE[code], channel): seconds
+        for code in range(4)
+        for channel, seconds in busy_ch_by_code[code].items()}
+    makespan = max(finish, default=0.0)
+    return ColumnarTimeline(table=table, start=start, finish=finish,
+                            prev_slot_finish=prev_slot,
+                            makespan=makespan, busy=busy,
+                            busy_per_channel=busy_per_channel)
+
+
+OpSink = Union[OpList, OpTable]
+Timeline = Union[TimelineResult, ColumnarTimeline]
+
+
+def new_op_sink() -> OpSink:
+    """The op container the active core wants emitters to fill.
+
+    Columnar :class:`OpTable` by default; :class:`OpList` under
+    ``REPRO_SCALAR_CORE=1``.
+    """
+    return OpList() if scalar_core_enabled() else OpTable()
+
+
+def schedule_ops(ops: OpSink) -> Timeline:
+    """Schedule whichever sink the emitter produced."""
+    if isinstance(ops, OpTable):
+        return schedule_table(ops)
+    return run_timeline(ops)

@@ -4,8 +4,11 @@ This is where the paper's three latency components meet: forward and
 backward computation on the PE array, offload/prefetch DMAs on the
 virtualization channel (with vDNN's pinned-buffer back-pressure and
 bounded prefetch lookahead), and collective synchronization on the ring
-networks.  The resulting :class:`~repro.core.timeline.OpList` encodes
-every overlap opportunity and every stall the design point implies.
+networks.  The resulting op sink (a columnar
+:class:`~repro.core.optable.OpTable` by default, or a scalar
+:class:`~repro.core.timeline.OpList` under ``REPRO_SCALAR_CORE=1``)
+encodes every overlap opportunity and every stall the design point
+implies.
 """
 
 from __future__ import annotations
@@ -13,14 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Callable
 
+from repro.core import pricing
+from repro.core.optable import OpSink, new_op_sink
 from repro.core.system import SystemConfig
-from repro.core.timeline import EngineKind, OpList
+from repro.core.timeline import EngineKind
 from repro.dnn.graph import Network
 from repro.dnn.layers import LayerKind
-from repro.training.backprop import TrainingStep, expand
-from repro.training.parallel import (ParallelStrategy, PartitionedLayer,
-                                     partition)
-from repro.vmem.policy import MigrationAction, MigrationPolicy
+from repro.training.backprop import TrainingStep
+from repro.training.parallel import ParallelStrategy, PartitionedLayer
+from repro.vmem.policy import MigrationAction
 from repro.vmem.prefetch import (ON_DEMAND, FetchSite, PrefetchContext,
                                  PrefetchSchedule, prefetch_policy)
 
@@ -58,11 +62,10 @@ class IterationPlan:
 def plan_iteration(net: Network, config: SystemConfig, batch: int,
                    strategy: ParallelStrategy) -> IterationPlan:
     """Partition the network and derive the migration plan."""
-    parts = {p.name: p for p in partition(net, batch, strategy,
-                                          config.n_devices)}
-    policy = MigrationPolicy(virtualize=config.virtualizes)
-    tensor_plans = policy.plan(net, batch)
-    step = expand(net, tensor_plans)
+    parts = {p.name: p for p in pricing.cached_partition(
+        net, batch, strategy, config.n_devices)}
+    tensor_plans, step = pricing.cached_migration(
+        net, batch, config.virtualizes)
     migrated = {
         plan.producer: parts[plan.producer].out_shard_bytes
         for plan in tensor_plans
@@ -98,30 +101,49 @@ def vmem_pricer(config: SystemConfig, compute_seconds: float,
     contention fraction instead.
     """
     if config.prefetch_policy == ON_DEMAND:
-        return config.vmem.transfer_time
+        return pricing.memoized_pricer(
+            config.vmem.transfer_time,
+            array_fn=config.vmem.transfer_time_array)
     fraction = contention_fraction(compute_seconds, comm_seconds)
-    return lambda nbytes: config.vmem.contended_transfer_time(nbytes,
-                                                              fraction)
+    return pricing.memoized_pricer(
+        lambda nbytes: config.vmem.contended_transfer_time(nbytes,
+                                                           fraction),
+        array_fn=lambda sizes: config.vmem.contended_transfer_time_array(
+            sizes, fraction))
+
+
+def _price_many(pricer: Callable[[int], float],
+                sizes: list[int]) -> list[float]:
+    """Price a list of transfer sizes through ``pricer``.
+
+    Uses the pricer's vectorized ``many`` batch API when it has one
+    (the memoized pricers of :mod:`repro.core.pricing` do); otherwise
+    falls back to per-size calls.  Values are identical either way.
+    """
+    many = getattr(pricer, "many", None)
+    if many is not None:
+        return many(sizes)
+    return [pricer(nbytes) for nbytes in sizes]
 
 
 def _iteration_seconds(plan: IterationPlan,
                        config: SystemConfig) -> tuple[float, float]:
     """(compute, collective) seconds of one training iteration plan."""
-    device = config.device
+    times = pricing.layer_times(plan.net, config.device, plan.batch,
+                                plan.strategy, config.n_devices)
+    collective = pricing.collective_pricer(config.collectives)
     compute = 0.0
     comm = 0.0
     for name in plan.step.fwd_order:
         if plan.net.layer(name).kind is LayerKind.INPUT:
             continue
         part = plan.parts[name]
-        compute += device.op_time(list(part.fwd_gemms),
-                                  part.fwd_stream_bytes)
-        compute += device.op_time(list(part.bwd_gemms),
-                                  part.fwd_stream_bytes)
+        fwd_s, bwd_s = times[name]
+        compute += fwd_s
+        compute += bwd_s
         for sync in (part.fwd_sync, part.bwd_sync):
             if sync is not None:
-                comm += config.collectives.time(sync.primitive,
-                                                sync.nbytes)
+                comm += collective(sync.primitive, sync.nbytes)
     return compute, comm
 
 
@@ -136,21 +158,21 @@ def plan_training_prefetch(plan: IterationPlan, config: SystemConfig,
                            pricer: Callable[[int], float] | None
                            = None) -> PrefetchSchedule:
     """Run the configured prefetch policy over a training iteration."""
-    device = config.device
     if pricer is None:
         pricer = iteration_pricer(plan, config)
+    times = pricing.layer_times(plan.net, config.device, plan.batch,
+                                plan.strategy, config.n_devices)
     step_seconds = []
     sites = []
-    fetch_seconds = []
+    shards = []
     for step_index, name in enumerate(plan.step.bwd_order):
-        part = plan.parts[name]
-        step_seconds.append(device.op_time(list(part.bwd_gemms),
-                                           part.fwd_stream_bytes))
+        step_seconds.append(times[name][1])
         for producer in plan.step.prefetch_sites.get(name, ()):
             shard = plan.migrated_shards[producer]
             sites.append(FetchSite(producer=producer,
                                    use_step=step_index, nbytes=shard))
-            fetch_seconds.append(pricer(shard))
+            shards.append(shard)
+    fetch_seconds = _price_many(pricer, shards)
     ctx = PrefetchContext(
         n_steps=len(plan.step.bwd_order), sites=tuple(sites),
         step_seconds=tuple(step_seconds),
@@ -203,8 +225,8 @@ def plan_inference(net: Network, config: SystemConfig, batch: int,
         raise ValueError(
             "inference serving replicates the model per device; "
             "pipeline-parallel inference is not modeled")
-    parts = {p.name: p for p in partition(net, batch, strategy,
-                                          config.n_devices)}
+    parts = {p.name: p for p in pricing.cached_partition(
+        net, batch, strategy, config.n_devices)}
     streamed: dict[str, int] = {}
     if config.virtualizes:
         seen_groups: set[str] = set()
@@ -227,18 +249,19 @@ def plan_inference(net: Network, config: SystemConfig, batch: int,
 def _inference_seconds(plan: InferencePlan,
                        config: SystemConfig) -> tuple[float, float]:
     """(compute, collective) seconds of one forward-only batch plan."""
-    device = config.device
+    times = pricing.layer_times(plan.net, config.device, plan.batch,
+                                plan.strategy, config.n_devices)
+    collective = pricing.collective_pricer(config.collectives)
     compute = 0.0
     comm = 0.0
     for name in plan.net.layer_names:
         if plan.net.layer(name).kind is LayerKind.INPUT:
             continue
         part = plan.parts[name]
-        compute += device.op_time(list(part.fwd_gemms),
-                                  part.fwd_stream_bytes)
+        compute += times[name][0]
         if part.fwd_sync is not None:
-            comm += config.collectives.time(part.fwd_sync.primitive,
-                                            part.fwd_sync.nbytes)
+            comm += collective(part.fwd_sync.primitive,
+                               part.fwd_sync.nbytes)
     return compute, comm
 
 
@@ -258,26 +281,26 @@ def plan_inference_prefetch(plan: InferencePlan, config: SystemConfig,
     the consuming step of layer *k*'s weights is its forward compute,
     indexed by position among the non-input layers.
     """
-    device = config.device
     if pricer is None:
         pricer = inference_pricer(plan, config)
+    times = pricing.layer_times(plan.net, config.device, plan.batch,
+                                plan.strategy, config.n_devices)
     step_seconds = []
     sites = []
-    fetch_seconds = []
+    weights = []
     step_index = 0
     for name in plan.net.layer_names:
         layer = plan.net.layer(name)
         if layer.kind is LayerKind.INPUT:
             continue
-        part = plan.parts[name]
-        step_seconds.append(device.op_time(list(part.fwd_gemms),
-                                           part.fwd_stream_bytes))
+        step_seconds.append(times[name][0])
         if name in plan.streamed_weights:
             nbytes = plan.streamed_weights[name]
             sites.append(FetchSite(producer=name, use_step=step_index,
                                    nbytes=nbytes))
-            fetch_seconds.append(pricer(nbytes))
+            weights.append(nbytes)
         step_index += 1
+    fetch_seconds = _price_many(pricer, weights)
     ctx = PrefetchContext(
         n_steps=step_index, sites=tuple(sites),
         step_seconds=tuple(step_seconds),
@@ -289,7 +312,7 @@ def plan_inference_prefetch(plan: InferencePlan, config: SystemConfig,
 def build_inference_ops(plan: InferencePlan, config: SystemConfig,
                         prefetch: PrefetchSchedule | None = None,
                         pricer: Callable[[int], float] | None = None) \
-        -> OpList:
+        -> OpSink:
     """Emit one forward-only batch's ops in issue order.
 
     Weight fetches ride the prefetch DMA engine, gated per the active
@@ -302,8 +325,10 @@ def build_inference_ops(plan: InferencePlan, config: SystemConfig,
     if prefetch is None:
         prefetch = plan_inference_prefetch(plan, config, pricer)
     waste_before = prefetch.waste_before()
-    ops = OpList()
-    device = config.device
+    ops = new_op_sink()
+    collective = pricing.collective_pricer(config.collectives)
+    times = pricing.layer_times(plan.net, config.device, plan.batch,
+                                plan.strategy, config.n_devices)
     net = plan.net
     parts = plan.parts
 
@@ -344,16 +369,14 @@ def build_inference_ops(plan: InferencePlan, config: SystemConfig,
                             tag=f"wfetch:{name}", nbytes=nbytes)
             deps.append(fetch)
 
-        compute = ops.add(EngineKind.COMPUTE,
-                          device.op_time(list(part.fwd_gemms),
-                                         part.fwd_stream_bytes),
+        compute = ops.add(EngineKind.COMPUTE, times[name][0],
                           deps, tag=f"fwd:{name}")
         computes.append(compute)
         if part.fwd_sync is not None:
             sync_uid[name] = ops.add(
                 EngineKind.COMM,
-                config.collectives.time(part.fwd_sync.primitive,
-                                        part.fwd_sync.nbytes),
+                collective(part.fwd_sync.primitive,
+                           part.fwd_sync.nbytes),
                 [compute], tag=f"sync-fwd:{name}",
                 nbytes=part.fwd_sync.nbytes)
         ready[name] = compute
@@ -364,7 +387,7 @@ def build_inference_ops(plan: InferencePlan, config: SystemConfig,
 def build_iteration_ops(plan: IterationPlan, config: SystemConfig,
                         prefetch: PrefetchSchedule | None = None,
                         pricer: Callable[[int], float] | None = None) \
-        -> OpList:
+        -> OpSink:
     """Emit the iteration's ops in dependency-consistent issue order.
 
     ``prefetch`` carries the active policy's issue plan (computed from
@@ -378,8 +401,10 @@ def build_iteration_ops(plan: IterationPlan, config: SystemConfig,
     if prefetch is None:
         prefetch = plan_training_prefetch(plan, config, pricer)
     waste_before = prefetch.waste_before()
-    ops = OpList()
-    device = config.device
+    ops = new_op_sink()
+    collective = pricing.collective_pricer(config.collectives)
+    times = pricing.layer_times(plan.net, config.device, plan.batch,
+                                plan.strategy, config.n_devices)
     net = plan.net
     parts = plan.parts
     site_index = 0
@@ -412,16 +437,13 @@ def build_iteration_ops(plan: IterationPlan, config: SystemConfig,
         # offloads may be outstanding before compute stalls.
         if len(offload_order) >= config.offload_window:
             deps.append(offload_order[-config.offload_window])
-        compute = ops.add(EngineKind.COMPUTE,
-                          device.op_time(list(part.fwd_gemms),
-                                         part.fwd_stream_bytes),
+        compute = ops.add(EngineKind.COMPUTE, times[name][0],
                           deps, tag=f"fwd:{name}")
         ready = compute
         if part.fwd_sync is not None:
             sync = ops.add(EngineKind.COMM,
-                           config.collectives.time(
-                               part.fwd_sync.primitive,
-                               part.fwd_sync.nbytes),
+                           collective(part.fwd_sync.primitive,
+                                      part.fwd_sync.nbytes),
                            [compute], tag=f"sync-fwd:{name}",
                            nbytes=part.fwd_sync.nbytes)
             fwd_sync_uid[name] = sync
@@ -483,24 +505,19 @@ def build_iteration_ops(plan: IterationPlan, config: SystemConfig,
         # Cheap tensors regenerated instead of migrated (footnote 4).
         recompute_ids = []
         for producer in plan.step.recompute_sites.get(name, ()):
-            rc_part = parts[producer]
             recompute_ids.append(ops.add(
-                EngineKind.COMPUTE,
-                device.op_time(list(rc_part.fwd_gemms),
-                               rc_part.fwd_stream_bytes),
+                EngineKind.COMPUTE, times[producer][0],
                 list(prefetch_ids), tag=f"recompute:{producer}"))
 
-        compute = ops.add(EngineKind.COMPUTE,
-                          device.op_time(list(part.bwd_gemms),
-                                         part.fwd_stream_bytes),
+        compute = ops.add(EngineKind.COMPUTE, times[name][1],
                           deps + prefetch_ids + recompute_ids,
                           tag=f"bwd:{name}")
         bwd_computes.append(compute)
 
         if part.bwd_sync is not None:
             sync = ops.add(EngineKind.COMM,
-                           config.collectives.time(part.bwd_sync.primitive,
-                                                   part.bwd_sync.nbytes),
+                           collective(part.bwd_sync.primitive,
+                                      part.bwd_sync.nbytes),
                            [compute], tag=f"sync-bwd:{name}",
                            nbytes=part.bwd_sync.nbytes)
             # Model-parallel dX reductions gate the grand-producers'

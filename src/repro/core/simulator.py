@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from repro.core.metrics import (ExecutionMode, LatencyBreakdown,
                                 SimulationResult)
+from repro.core.optable import Timeline, schedule_ops
 from repro.core.schedule import (build_inference_ops, build_iteration_ops,
                                  inference_pricer, iteration_pricer,
                                  plan_inference, plan_inference_prefetch,
                                  plan_iteration, plan_training_prefetch)
 from repro.core.system import SystemConfig
-from repro.core.timeline import (EngineKind, TimelineResult,
-                                 run_timeline)
+from repro.core.timeline import EngineKind
 from repro.dnn.graph import Network
 from repro.dnn.registry import build_network
 from repro.host.cpu import CpuBandwidthUsage, socket_usage
@@ -39,7 +39,30 @@ def simulate(config: SystemConfig, network: Network | str,
              mode: ExecutionMode = ExecutionMode.TRAINING) \
         -> SimulationResult:
     """Simulate one training iteration (or one forward-only inference
-    batch, with ``mode=ExecutionMode.INFERENCE``) on a design point."""
+    batch, with ``mode=ExecutionMode.INFERENCE``) on a design point.
+
+    Args:
+        config: the design point (hardware + policy knobs).  Factory
+            builds come from :func:`repro.core.design_points.design_point`.
+        network: a built :class:`~repro.dnn.graph.Network` or a
+            registry name (``"VGG-E"``, ``"BERT-Large"``, ...).
+        batch: global minibatch size in samples (per-device under data
+            parallelism; whole-node under model parallelism).
+        strategy: data, model, or pipeline parallelism.
+            ``ParallelStrategy.PIPELINE`` routes through
+            :mod:`repro.pipeline` and populates ``result.pipeline``.
+        mode: ``TRAINING`` (default) or ``INFERENCE``.  Request-level
+            serving and multi-job cluster runs have their own entry
+            points (:func:`repro.serving.simulate_serving`,
+            :func:`repro.cluster.simulate_cluster`).
+
+    Returns:
+        A :class:`SimulationResult`.  ``iteration_time`` and every
+        breakdown component are seconds; all traffic fields are bytes
+        per iteration.  Results are deterministic and identical under
+        both simulator cores (``REPRO_SCALAR_CORE=1`` selects the
+        scalar reference core; see ``docs/performance.md``).
+    """
     net = _resolve(network)
     if mode is ExecutionMode.INFERENCE:
         return _simulate_inference(config, net, batch, strategy)
@@ -53,7 +76,7 @@ def simulate(config: SystemConfig, network: Network | str,
     psched = plan_training_prefetch(plan, config, pricer)
     ops = build_iteration_ops(plan, config, prefetch=psched,
                               pricer=pricer)
-    timeline = run_timeline(ops)
+    timeline = schedule_ops(ops)
 
     breakdown = LatencyBreakdown(
         compute=timeline.busy_time(EngineKind.COMPUTE),
@@ -100,7 +123,7 @@ def _simulate_inference(config: SystemConfig, net: Network, batch: int,
     psched = plan_inference_prefetch(plan, config, pricer)
     ops = build_inference_ops(plan, config, prefetch=psched,
                               pricer=pricer)
-    timeline = run_timeline(ops)
+    timeline = schedule_ops(ops)
 
     breakdown = LatencyBreakdown(
         compute=timeline.busy_time(EngineKind.COMPUTE),
@@ -145,7 +168,7 @@ def _simulate_pipeline(config: SystemConfig, net: Network,
     psched = plan_pipeline_prefetch(plan, config, pricer)
     ops = build_pipeline_ops(plan, config, prefetch=psched,
                              pricer=pricer)
-    timeline = run_timeline(ops)
+    timeline = schedule_ops(ops)
     stats = pipeline_stats(plan, timeline)
 
     breakdown = LatencyBreakdown(
@@ -180,16 +203,16 @@ def _simulate_pipeline(config: SystemConfig, net: Network,
 def iteration_timeline(config: SystemConfig, network: Network | str,
                        batch: int = DEFAULT_BATCH,
                        strategy: ParallelStrategy =
-                       ParallelStrategy.DATA) -> TimelineResult:
+                       ParallelStrategy.DATA) -> Timeline:
     """The scheduled engine timeline of one iteration (trace export)."""
     net = _resolve(network)
     if strategy is ParallelStrategy.PIPELINE:
         from repro.pipeline.lowering import (build_pipeline_ops,
                                              plan_pipeline)
         plan = plan_pipeline(net, config, batch)
-        return run_timeline(build_pipeline_ops(plan, config))
+        return schedule_ops(build_pipeline_ops(plan, config))
     plan = plan_iteration(net, config, batch, strategy)
-    return run_timeline(build_iteration_ops(plan, config))
+    return schedule_ops(build_iteration_ops(plan, config))
 
 
 def host_bandwidth_usage(config: SystemConfig,

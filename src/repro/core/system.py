@@ -10,9 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.accelerator.device import BASELINE_DEVICE, DeviceSpec
 from repro.collectives.multi_ring import (RingChannel,
-                                          striped_collective_time)
+                                          striped_collective_time,
+                                          striped_collective_time_array)
 from repro.collectives.ring_algorithm import (DEFAULT_SPEC, CollectiveSpec,
                                               Primitive)
 from repro.host.cpu import CpuSocketSpec
@@ -33,10 +36,20 @@ class CollectiveModel:
             raise ValueError("a system needs at least one ring channel")
 
     def time(self, primitive: Primitive, nbytes: int) -> float:
+        """Latency (seconds) of one collective of ``nbytes`` total."""
         if nbytes == 0:
             return 0.0
         return striped_collective_time(primitive, list(self.channels),
                                        nbytes, self.spec)
+
+    def time_array(self, primitive: Primitive, sizes) -> np.ndarray:
+        """Vectorized :meth:`time` over a column of message sizes.
+
+        Elementwise bit-identical to per-size scalar calls (same
+        striping, same ring model, float64 throughout).
+        """
+        return striped_collective_time_array(
+            primitive, list(self.channels), sizes, self.spec)
 
     @classmethod
     def from_topology(cls, topo: SystemTopology,
@@ -100,6 +113,36 @@ class VmemModel:
         bw = (contended_fraction * self.channel.concurrent_bw
               + (1.0 - contended_fraction) * self.channel.peak_bw)
         return self.dma_setup + (nbytes / self.compression) / bw
+
+    def _transfer_time_array(self, sizes, bw: float) -> np.ndarray:
+        if not self.enabled:
+            raise RuntimeError("oracle design has no migration channel")
+        arr = np.asarray(sizes, dtype=np.float64)
+        if arr.size and float(arr.min()) < 0:
+            raise ValueError("negative transfer size")
+        priced = self.dma_setup + (arr / self.compression) / bw
+        return np.where(arr == 0.0, 0.0, priced)
+
+    def transfer_time_array(self, sizes,
+                            concurrent: bool = True) -> np.ndarray:
+        """Vectorized :meth:`transfer_time` over a column of sizes.
+
+        Elementwise bit-identical to per-size scalar calls (float64
+        throughout; zero sizes price to exactly 0.0).
+        """
+        bw = (self.channel.concurrent_bw if concurrent
+              else self.channel.peak_bw)
+        return self._transfer_time_array(sizes, bw)
+
+    def contended_transfer_time_array(self, sizes,
+                                      contended_fraction: float) \
+            -> np.ndarray:
+        """Vectorized :meth:`contended_transfer_time` over sizes."""
+        if not 0.0 <= contended_fraction <= 1.0:
+            raise ValueError("contended fraction must lie in [0, 1]")
+        bw = (contended_fraction * self.channel.concurrent_bw
+              + (1.0 - contended_fraction) * self.channel.peak_bw)
+        return self._transfer_time_array(sizes, bw)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 
 
 class EngineKind(enum.Enum):
+    """The four concurrent engines of one device-node."""
+
     COMPUTE = "compute"
     DMA_OUT = "dma-out"
     DMA_IN = "dma-in"
@@ -38,7 +40,12 @@ class EngineKind(enum.Enum):
 
 @dataclass(frozen=True)
 class Op:
-    """One scheduled operation."""
+    """One schedulable operation.
+
+    ``duration`` is seconds, ``nbytes`` the payload bytes the op moves
+    (0 for pure compute), and ``deps`` uids of earlier ops that must
+    finish before this one starts.
+    """
 
     uid: int
     engine: EngineKind
@@ -70,6 +77,12 @@ class OpList:
 
     def add(self, engine: EngineKind, duration: float, deps: list[int],
             tag: str, nbytes: int = 0, channel: int = 0) -> int:
+        """Append an op and return its uid (dense, starting at 0).
+
+        ``duration`` is seconds; ``deps`` must reference earlier uids.
+        The columnar :class:`~repro.core.optable.OpTable` exposes the
+        same signature, so emitters work against either container.
+        """
         uid = len(self.ops)
         self.ops.append(Op(uid=uid, engine=engine, duration=duration,
                            deps=tuple(deps), tag=tag, nbytes=nbytes,
@@ -109,15 +122,23 @@ class TimelineResult:
                 {(engine, 0): time for engine, time in self.busy.items()})
 
     def finish_of(self, uid: int) -> float:
+        """Completion time (seconds) of op ``uid``."""
         return self.scheduled[uid].finish
 
     def ops_on(self, engine: EngineKind,
                channel: int | None = None) -> list[ScheduledOp]:
+        """Scheduled ops of one engine, in issue (uid) order.
+
+        Event order IS uid order even across equal timestamps -- the
+        property tests hold both cores to this.
+        """
         return [s for s in self.scheduled if s.op.engine is engine
                 and (channel is None or s.op.channel == channel)]
 
     def busy_time(self, engine: EngineKind,
                   channel: int | None = None) -> float:
+        """Total seconds ``engine`` spent executing ops (not idle),
+        across all channels unless one is given."""
         if channel is None:
             return self.busy.get(engine, 0.0)
         return self.busy_per_channel.get((engine, channel), 0.0)
@@ -130,7 +151,13 @@ class TimelineResult:
 
 
 def run_timeline(ops: OpList) -> TimelineResult:
-    """List-schedule ``ops``; engines serialize, deps must finish first."""
+    """List-schedule ``ops``; engines serialize, deps must finish first.
+
+    This is the scalar reference scheduler.  The default (vectorized)
+    core schedules the columnar :class:`~repro.core.optable.OpTable`
+    through :func:`~repro.core.optable.schedule_table`; the two are
+    held byte-identical by ``tests/test_optable_properties.py``.
+    """
     engine_free: dict[tuple[EngineKind, int], float] = {}
     busy: dict[EngineKind, float] = {e: 0.0 for e in EngineKind}
     busy_per_channel: dict[tuple[EngineKind, int], float] = {}

@@ -30,6 +30,37 @@ class Network:
         self.name = name
         self._graph = nx.DiGraph()
         self._order: list[str] = []
+        #: Mutation counter; bumps on every :meth:`add_layer`.  Caches
+        #: keyed on ``(network, version)`` can never replay stale
+        #: adjacency or pricing for a graph edited after caching.
+        self._version = 0
+        self._adjacency: tuple[dict[str, int], dict[str, list[str]],
+                               dict[str, list[str]]] | None = None
+        self._layer_map: dict[str, Layer] | None = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (for external memo keys)."""
+        return self._version
+
+    def _adj(self) -> tuple[dict[str, int], dict[str, list[str]],
+                            dict[str, list[str]]]:
+        """(position, predecessors, successors) maps, built once.
+
+        The per-call ``position`` dict comprehension in adjacency
+        queries was quadratic over a simulation (every layer queries
+        every other layer's index); this builds all three maps in one
+        pass and caches them until the next mutation.
+        """
+        if self._adjacency is None:
+            position = {n: i for i, n in enumerate(self._order)}
+            by_pos = position.__getitem__
+            preds = {n: sorted(self._graph.predecessors(n), key=by_pos)
+                     for n in self._order}
+            succs = {n: sorted(self._graph.successors(n), key=by_pos)
+                     for n in self._order}
+            self._adjacency = (position, preds, succs)
+        return self._adjacency
 
     # -- Construction ------------------------------------------------------
 
@@ -45,6 +76,9 @@ class Network:
         self._order.append(layer.name)
         for src in inputs or []:
             self._graph.add_edge(src, layer.name)
+        self._version += 1
+        self._adjacency = None
+        self._layer_map = None
         return layer
 
     def validate(self) -> None:
@@ -65,7 +99,21 @@ class Network:
     # -- Accessors ---------------------------------------------------------
 
     def layer(self, name: str) -> Layer:
-        return self._graph.nodes[name]["layer"]
+        """The :class:`Layer` registered as ``name``.
+
+        Served from a flat name map (rebuilt on mutation); the raw
+        networkx node-attribute lookup costs several dict hops and the
+        simulator asks for layers hundreds of times per op table.
+        """
+        layer_map = self._layer_map
+        if layer_map is None:
+            layer_map = self._layer_map = {
+                n: self._graph.nodes[n]["layer"] for n in self._order}
+        try:
+            return layer_map[name]
+        except KeyError:
+            # Unknown names keep raising the networkx KeyError shape.
+            return self._graph.nodes[name]["layer"]
 
     @property
     def layer_names(self) -> list[str]:
@@ -77,14 +125,16 @@ class Network:
         return [self.layer(n) for n in self._order]
 
     def predecessors(self, name: str) -> list[str]:
-        preds = list(self._graph.predecessors(name))
-        position = {n: i for i, n in enumerate(self._order)}
-        return sorted(preds, key=position.__getitem__)
+        """Producers of ``name``, in topological (insertion) order."""
+        if name in self._graph:
+            return list(self._adj()[1][name])
+        return list(self._graph.predecessors(name))  # raises NetworkXError
 
     def successors(self, name: str) -> list[str]:
-        succs = list(self._graph.successors(name))
-        position = {n: i for i, n in enumerate(self._order)}
-        return sorted(succs, key=position.__getitem__)
+        """Consumers of ``name``, in topological (insertion) order."""
+        if name in self._graph:
+            return list(self._adj()[2][name])
+        return list(self._graph.successors(name))  # raises NetworkXError
 
     def __len__(self) -> int:
         return len(self._order)
@@ -115,7 +165,7 @@ class Network:
         the number of layer computations in between -- the scheduling
         slack available to hide its migration.
         """
-        position = {n: i for i, n in enumerate(self._order)}
+        position = self._adj()[0]
         total = len(self._order)
         last_use = position[self.last_forward_consumer(name)]
         # Forward steps remaining after last use, plus backward steps

@@ -26,10 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.collectives.ring_algorithm import Primitive
+from repro.core import pricing
 from repro.core.metrics import PipelineStats
+from repro.core.optable import OpSink, Timeline, new_op_sink
 from repro.core.schedule import vmem_pricer
 from repro.core.system import SystemConfig
-from repro.core.timeline import EngineKind, OpList, TimelineResult
+from repro.core.timeline import EngineKind
 from repro.dnn.graph import Network
 from repro.dnn.layers import LayerKind
 from repro.pipeline.partition import (PipelineStage, crossing_sends,
@@ -144,12 +146,12 @@ def _stage_times(net: Network, stage: PipelineStage,
         layer = net.layer(name)
         if layer.kind is LayerKind.INPUT:
             continue
-        fwd += device.layer_fwd_time(layer, microbatch)
-        bwd += device.layer_bwd_time(layer, microbatch)
+        fwd += pricing.layer_fwd_time(device, layer, microbatch)
+        bwd += pricing.layer_bwd_time(device, layer, microbatch)
         # Cheap layers are recomputed during backward instead of
         # migrated (footnote 4), per microbatch.
         if layer.is_cheap and config.virtualizes:
-            bwd += device.layer_fwd_time(layer, microbatch)
+            bwd += pricing.layer_fwd_time(device, layer, microbatch)
     return fwd, bwd
 
 
@@ -245,7 +247,8 @@ def _pipeline_seconds(plan: PipelinePlan,
         for _, nbytes in stage.sends:
             comm += 2 * n_microbatches * _p2p_time(config, nbytes)
         if plan.replicas > 1 and stage.weight_bytes:
-            comm += config.collectives.time(Primitive.ALL_REDUCE,
+            comm += pricing.collective_time(config.collectives,
+                                            Primitive.ALL_REDUCE,
                                             stage.weight_bytes)
     return compute, comm
 
@@ -293,7 +296,7 @@ def plan_pipeline_prefetch(plan: PipelinePlan, config: SystemConfig,
 
 def build_pipeline_ops(plan: PipelinePlan, config: SystemConfig,
                        prefetch: tuple[PrefetchSchedule, ...] | None
-                       = None, pricer=None) -> OpList:
+                       = None, pricer=None) -> OpSink:
     """Emit the pipeline's ops; stage *s* runs on timeline channel *s*.
 
     Emission walks every stage's program in slot order, interleaving
@@ -317,7 +320,7 @@ def build_pipeline_ops(plan: PipelinePlan, config: SystemConfig,
                             for i, m in enumerate(order)})
         stage_waste.append({m: waste_before.get(i, ())
                             for i, m in enumerate(order)})
-    ops = OpList()
+    ops = new_op_sink()
     schedule = plan.schedule
     n_stages = schedule.n_stages
 
@@ -432,7 +435,8 @@ def build_pipeline_ops(plan: PipelinePlan, config: SystemConfig,
         for stage in plan.stages:
             if stage.weight_bytes:
                 ops.add(EngineKind.COMM,
-                        config.collectives.time(Primitive.ALL_REDUCE,
+                        pricing.collective_time(config.collectives,
+                                                Primitive.ALL_REDUCE,
                                                 stage.weight_bytes),
                         [bwd_uids[stage.index][-1]],
                         tag=f"sync-dw:s{stage.index}",
@@ -442,7 +446,7 @@ def build_pipeline_ops(plan: PipelinePlan, config: SystemConfig,
 
 
 def pipeline_stats(plan: PipelinePlan,
-                   timeline: TimelineResult) -> PipelineStats:
+                   timeline: Timeline) -> PipelineStats:
     """Per-stage bubble/compute accounting of a scheduled pipeline."""
     compute = []
     bubble = []

@@ -421,6 +421,126 @@ class _Intervals:
         return total
 
 
+def _collect_columnar(timeline, policy: str,
+                      evictions: int) -> PrefetchStats:
+    """Columnar fast path of :func:`collect_prefetch_stats`.
+
+    Operates on a :class:`~repro.core.optable.ColumnarTimeline`'s raw
+    columns -- no :class:`~repro.core.timeline.ScheduledOp` objects are
+    materialized, the scheduler's recorded per-slot previous-finish
+    column replaces the collector's running dict, and the DMA/collective
+    overlap is priced on numpy interval arrays.  Every float it returns
+    is accumulated in the same order as the scalar collector, so the
+    stats are byte-identical.
+    """
+    import numpy as np
+
+    from repro.core.metrics import PrefetchStats
+    from repro.core.optable import ENGINE_CODE
+    from repro.core.timeline import EngineKind
+
+    table = timeline.table
+    arrays = timeline.as_arrays()
+    engine = arrays["engine"]
+    starts = timeline.start
+    finishes = timeline.finish
+    prev_slot = timeline.prev_slot_finish
+    engines = table.engines
+    deps = table.deps
+    tags = table.tags
+    nbytes = table.nbytes
+    durations = table.durations
+
+    dma_in_idx = np.nonzero(engine == ENGINE_CODE[EngineKind.DMA_IN])[0]
+    prefetch_bytes = sum(nbytes[i] for i in dma_in_idx)
+    wasted = sum(nbytes[i] for i in dma_in_idx
+                 if tags[i].startswith("waste:"))
+
+    late = jit = early = 0
+    n_prefetches = 0
+    stall = 0.0
+    compute = EngineKind.COMPUTE
+    dma_in = EngineKind.DMA_IN
+    for i in np.nonzero(engine == ENGINE_CODE[compute])[0]:
+        op_deps = deps[i]
+        if not op_deps:
+            continue
+        fetches = [d for d in op_deps if engines[d] is dma_in]
+        if not fetches:
+            continue
+        other = max((finishes[d] for d in op_deps
+                     if engines[d] is not dma_in), default=0.0)
+        prev = prev_slot[i]
+        unblocked = prev if prev > other else other
+        stall += max(0.0, starts[i] - unblocked)
+        for d in fetches:
+            n_prefetches += 1
+            slack = unblocked - finishes[d]
+            if slack < 0:
+                late += 1
+            elif slack <= durations[d]:
+                jit += 1
+            else:
+                early += 1
+    hit_rate = 1.0 if n_prefetches == 0 \
+        else (n_prefetches - late) / n_prefetches
+    return PrefetchStats(
+        policy=policy,
+        n_prefetches=n_prefetches,
+        prefetch_bytes=prefetch_bytes,
+        wasted_bytes=wasted,
+        evictions=evictions,
+        stall_seconds=stall,
+        late=late, jit=jit, early=early,
+        hit_rate=hit_rate,
+        contended_seconds=_columnar_overlap(arrays),
+    )
+
+
+def _columnar_overlap(arrays) -> float:
+    """DMA x collective busy overlap on numpy interval columns.
+
+    Replicates :meth:`_Intervals.overlap` exactly: per channel (in the
+    DMA family's first-appearance order, matching the scalar dict's
+    insertion order) the pairwise clipped overlaps are laid out
+    row-major, concatenated, and reduced with one sequential
+    ``cumsum`` -- the same additions in the same order as the scalar
+    nested loops, hence bit-identical totals.
+    """
+    import numpy as np
+
+    from repro.core.optable import ENGINE_CODE
+    from repro.core.timeline import EngineKind
+
+    engine = arrays["engine"]
+    start = arrays["start"]
+    finish = arrays["finish"]
+    channel = arrays["channel"]
+    span = finish > start
+    dma = span & ((engine == ENGINE_CODE[EngineKind.DMA_IN])
+                  | (engine == ENGINE_CODE[EngineKind.DMA_OUT]))
+    comm = span & (engine == ENGINE_CODE[EngineKind.COMM])
+    if not dma.any() or not comm.any():
+        return 0.0
+    dma_ch = channel[dma]
+    comm_ch = channel[comm]
+    a0, a1 = start[dma], finish[dma]
+    b0, b1 = start[comm], finish[comm]
+    _, first = np.unique(dma_ch, return_index=True)
+    terms = []
+    for ch in dma_ch[np.sort(first)]:
+        mine = dma_ch == ch
+        theirs = comm_ch == ch
+        if not theirs.any():
+            continue
+        pair = (np.minimum.outer(a1[mine], b1[theirs])
+                - np.maximum.outer(a0[mine], b0[theirs]))
+        terms.append(np.maximum(0.0, pair).ravel())
+    if not terms:
+        return 0.0
+    return float(np.cumsum(np.concatenate(terms))[-1])
+
+
 def collect_prefetch_stats(timeline: TimelineResult, policy: str,
                            evictions: int = 0) -> PrefetchStats:
     """Distil a scheduled timeline into the campaign-facing stats.
@@ -431,12 +551,22 @@ def collect_prefetch_stats(timeline: TimelineResult, policy: str,
     dependencies finish after both its own engine and its non-DMA
     dependencies were ready.  Wasted traffic is whatever rode a
     ``waste:`` tag.
+
+    Accepts either timeline flavor: a columnar
+    :class:`~repro.core.optable.ColumnarTimeline` takes the vectorized
+    fast path (same numbers, no per-op object materialization), a
+    scalar :class:`~repro.core.timeline.TimelineResult` the reference
+    loop below.
     """
     # Imported here, not at module scope: repro.training (and through
     # it repro.core.metrics) imports repro.vmem, so a top-level import
     # would close an import cycle through the package __init__.
     from repro.core.metrics import PrefetchStats
+    from repro.core.optable import ColumnarTimeline
     from repro.core.timeline import EngineKind
+
+    if isinstance(timeline, ColumnarTimeline):
+        return _collect_columnar(timeline, policy, evictions)
 
     scheduled = timeline.scheduled
     prev_finish: dict[tuple[EngineKind, int], float] = {}

@@ -1,0 +1,174 @@
+"""Property tests of the columnar op table vs the scalar op list.
+
+Hypothesis drives random DAG-shaped op programs through both
+containers and both schedulers and holds them to exact equality:
+
+* identical start/finish/busy/makespan for every op (bitwise float
+  equality -- both schedulers walk ops in uid order and accumulate in
+  the same sequence);
+* stable event order: ``ops_on`` never reorders ops, even across
+  equal timestamps (zero-duration ops pile up on one instant);
+* ``prev_slot_finish`` is exactly the engine-slot free time the
+  scheduler saw when each op was issued;
+* validation parity: both containers reject the same malformed ops.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optable import (ENGINE_CODE, ColumnarTimeline, OpTable,
+                                schedule_ops, schedule_table)
+from repro.core.timeline import EngineKind, OpList, run_timeline
+
+ENGINES = tuple(EngineKind)
+
+
+@st.composite
+def op_programs(draw):
+    """A random valid op program: (engine, duration, deps, channel)."""
+    n = draw(st.integers(min_value=0, max_value=40))
+    program = []
+    for uid in range(n):
+        engine = draw(st.sampled_from(ENGINES))
+        # Mix zero durations in aggressively: equal timestamps are the
+        # interesting ordering case.
+        duration = draw(st.one_of(
+            st.just(0.0),
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False)))
+        deps = (draw(st.lists(st.integers(0, uid - 1), max_size=4,
+                              unique=True))
+                if uid else [])
+        channel = draw(st.integers(min_value=0, max_value=2))
+        nbytes = draw(st.integers(min_value=0, max_value=1 << 20))
+        program.append((engine, duration, deps, channel, nbytes))
+    return program
+
+
+def build_both(program) -> tuple[OpList, OpTable]:
+    op_list, table = OpList(), OpTable()
+    for i, (engine, duration, deps, channel, nbytes) in enumerate(program):
+        tag = f"op{i}"
+        a = op_list.add(engine, duration, deps, tag, nbytes=nbytes,
+                        channel=channel)
+        b = table.add(engine, duration, deps, tag, nbytes=nbytes,
+                      channel=channel)
+        assert a == b == i
+    return op_list, table
+
+
+class TestSchedulerEquivalence:
+    @given(op_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_schedules_identically(self, program):
+        op_list, table = build_both(program)
+        ref = run_timeline(op_list)
+        col = schedule_table(table)
+
+        assert col.makespan == ref.makespan
+        assert col.busy == ref.busy
+        assert col.busy_per_channel == ref.busy_per_channel
+        assert col.channels == ref.channels
+        for uid in range(len(program)):
+            assert col.finish_of(uid) == ref.finish_of(uid)
+            assert col.scheduled[uid].start == ref.scheduled[uid].start
+
+    @given(op_programs())
+    @settings(max_examples=75, deadline=None)
+    def test_no_reordering_across_equal_timestamps(self, program):
+        """``ops_on`` preserves issue (uid) order on both cores.
+
+        With many zero-duration ops sharing one timestamp, a sort by
+        start time could legally permute them; the contract is
+        stronger -- event order IS uid order, always.
+        """
+        op_list, table = build_both(program)
+        ref = run_timeline(op_list)
+        col = schedule_table(table)
+        for engine in ENGINES:
+            for channel in (None, 0, 1, 2):
+                ref_ops = ref.ops_on(engine, channel)
+                col_ops = col.ops_on(engine, channel)
+                assert ([s.op.uid for s in col_ops]
+                        == [s.op.uid for s in ref_ops])
+                uids = [s.op.uid for s in col_ops]
+                assert uids == sorted(uids)
+
+    @given(op_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_prev_slot_finish_matches_scheduler_state(self, program):
+        """The recorded slot-free time replays the scheduler exactly."""
+        _, table = build_both(program)
+        col = schedule_table(table)
+        slot_free: dict[tuple[EngineKind, int], float] = {}
+        for uid in range(len(program)):
+            engine = table.engines[uid]
+            channel = table.channels[uid]
+            assert (col.prev_slot_finish[uid]
+                    == slot_free.get((engine, channel), 0.0))
+            slot_free[(engine, channel)] = col.finish_of(uid)
+
+    @given(op_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_as_arrays_mirrors_columns(self, program):
+        _, table = build_both(program)
+        col = schedule_table(table)
+        arrays = col.as_arrays()
+        n = len(program)
+        assert all(arrays[k].shape == (n,) for k in arrays)
+        for uid in range(n):
+            assert arrays["engine"][uid] == ENGINE_CODE[table.engines[uid]]
+            assert arrays["duration"][uid] == table.durations[uid]
+            assert arrays["start"][uid] == col.scheduled[uid].start
+            assert arrays["finish"][uid] == col.finish_of(uid)
+            assert arrays["nbytes"][uid] == table.nbytes[uid]
+            assert arrays["channel"][uid] == table.channels[uid]
+
+
+class TestContainerParity:
+    def test_schedule_ops_dispatches_both(self):
+        op_list, table = build_both(
+            [(EngineKind.COMPUTE, 1.0, [], 0, 0),
+             (EngineKind.DMA_IN, 2.0, [0], 0, 8)])
+        assert isinstance(schedule_ops(table), ColumnarTimeline)
+        ref = schedule_ops(op_list)
+        assert ref.makespan == schedule_ops(table).makespan
+
+    def test_validation_parity_forward_dep(self):
+        for container in (OpList(), OpTable()):
+            container.add(EngineKind.COMPUTE, 1.0, [], "a")
+            try:
+                container.add(EngineKind.COMPUTE, 1.0, [5], "b")
+            except ValueError as exc:
+                assert "cycle" in str(exc)
+            else:  # pragma: no cover - failure path
+                raise AssertionError("forward dep accepted")
+
+    def test_validation_parity_negative_fields(self):
+        for kwargs in ({"duration": -1.0}, {"nbytes": -1},
+                       {"channel": -1}):
+            for container in (OpList(), OpTable()):
+                base = {"engine": EngineKind.COMPUTE, "duration": 1.0,
+                        "deps": [], "tag": "x", "nbytes": 0,
+                        "channel": 0, **kwargs}
+                try:
+                    container.add(base.pop("engine"),
+                                  base.pop("duration"),
+                                  base.pop("deps"), base.pop("tag"),
+                                  **base)
+                except ValueError:
+                    continue
+                raise AssertionError(  # pragma: no cover
+                    f"{type(container).__name__} accepted {kwargs}")
+
+    def test_lazy_ops_materialization(self):
+        _, table = build_both(
+            [(EngineKind.COMPUTE, 1.0, [], 0, 0),
+             (EngineKind.COMM, 0.5, [0], 1, 16)])
+        ops = table.ops
+        assert ops is table.ops  # cached
+        assert [o.uid for o in ops] == [0, 1]
+        table.add(EngineKind.DMA_OUT, 0.1, [1], "late")
+        assert len(table.ops) == 3  # cache invalidated by add

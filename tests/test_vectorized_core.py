@@ -1,0 +1,155 @@
+"""Differential tests: vectorized core vs the scalar reference core.
+
+The vectorized simulator (columnar op tables + numpy pricing, the
+default) must be *byte-identical* to the scalar seed core selected by
+``REPRO_SCALAR_CORE=1`` -- not approximately equal: every float in a
+``SimulationResult`` must compare ``==``.  These tests run both cores
+in-process over the paper's full evaluation matrix (6 designs x 8
+workloads x 2 strategies) and over the pipeline, serving, and cluster
+subsystems, and assert exact dataclass equality.
+
+The scalar toggle is dynamic (read per ``simulate()`` call), so one
+process can run both sides; pricing memos are cleared around every
+scalar run so the comparison is never served from a vectorized-mode
+cache (which would make the differential vacuous).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.simulator import simulate_cluster
+from repro.core import pricing
+from repro.core.design_points import DESIGN_ORDER, design_point
+from repro.core.metrics import ExecutionMode, SimulationResult
+from repro.core.optable import SCALAR_CORE_ENV, scalar_core_enabled
+from repro.core.simulator import simulate
+from repro.dnn.registry import BENCHMARK_NAMES
+from repro.serving.server import simulate_serving
+from repro.training.parallel import ParallelStrategy
+
+
+@pytest.fixture
+def both_cores(monkeypatch):
+    """Run a thunk under each core and return (vectorized, scalar)."""
+
+    def run(thunk):
+        pricing.clear_caches()
+        monkeypatch.delenv(SCALAR_CORE_ENV, raising=False)
+        assert not scalar_core_enabled()
+        vectorized = thunk()
+        pricing.clear_caches()
+        monkeypatch.setenv(SCALAR_CORE_ENV, "1")
+        assert scalar_core_enabled()
+        scalar = thunk()
+        monkeypatch.delenv(SCALAR_CORE_ENV, raising=False)
+        pricing.clear_caches()
+        return vectorized, scalar
+
+    return run
+
+
+def assert_identical(vectorized: SimulationResult,
+                     scalar: SimulationResult) -> None:
+    """Exact (bitwise, via ``==``) equality of two results."""
+    assert dataclasses.asdict(vectorized) == dataclasses.asdict(scalar)
+
+
+class TestEvaluationMatrix:
+    """The full 6-design x 8-workload x 2-strategy paper grid."""
+
+    @pytest.mark.parametrize("design", DESIGN_ORDER)
+    @pytest.mark.parametrize("network", BENCHMARK_NAMES)
+    def test_training_grid_cell(self, both_cores, design, network):
+        config = design_point(design)
+        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
+            vec, ref = both_cores(
+                lambda: simulate(config, network, 512, strategy))
+            assert_identical(vec, ref)
+
+    @pytest.mark.parametrize("design", ("DC-DLA", "MC-DLA(B)"))
+    def test_inference_cells(self, both_cores, design):
+        config = design_point(design)
+        vec, ref = both_cores(
+            lambda: simulate(config, "ResNet", 64, ParallelStrategy.DATA,
+                             ExecutionMode.INFERENCE))
+        assert_identical(vec, ref)
+
+
+class TestSubsystems:
+    def test_pipeline_mode(self, both_cores):
+        config = dataclasses.replace(design_point("MC-DLA(B)"),
+                                     pipeline_stages=4)
+        vec, ref = both_cores(
+            lambda: simulate(config, "VGG-E", 256,
+                             ParallelStrategy.PIPELINE))
+        assert_identical(vec, ref)
+
+    def test_pipeline_gpipe_schedule(self, both_cores):
+        config = dataclasses.replace(design_point("HC-DLA"),
+                                     pipeline_stages=4,
+                                     pipeline_schedule="gpipe")
+        vec, ref = both_cores(
+            lambda: simulate(config, "BERT-Large", 256,
+                             ParallelStrategy.PIPELINE))
+        assert_identical(vec, ref)
+
+    def test_serving_mode(self, both_cores):
+        config = design_point("MC-DLA(B)")
+        vec, ref = both_cores(
+            lambda: simulate_serving(config, "ResNet", rate=200.0,
+                                     n_requests=64, seed=7,
+                                     max_batch=16))
+        assert_identical(vec, ref)
+
+    def test_cluster_mode(self, both_cores):
+        config = design_point("MC-DLA(B)")
+        vec, ref = both_cores(
+            lambda: simulate_cluster(config, policy="fifo", n_jobs=8,
+                                     seed=7))
+        assert_identical(vec, ref)
+
+    @pytest.mark.parametrize("policy", ("next-op", "stride",
+                                        "cost-model", "clairvoyant"))
+    def test_prefetch_policies(self, both_cores, policy):
+        config = dataclasses.replace(design_point("MC-DLA(L)"),
+                                     prefetch_policy=policy)
+        vec, ref = both_cores(
+            lambda: simulate(config, "GoogLeNet", 128,
+                             ParallelStrategy.DATA))
+        assert_identical(vec, ref)
+
+
+class TestEscapeHatch:
+    """``REPRO_SCALAR_CORE`` gates every memo, not just the scheduler."""
+
+    def test_toggle_is_dynamic(self, monkeypatch):
+        monkeypatch.delenv(SCALAR_CORE_ENV, raising=False)
+        assert not scalar_core_enabled()
+        monkeypatch.setenv(SCALAR_CORE_ENV, "1")
+        assert scalar_core_enabled()
+        monkeypatch.setenv(SCALAR_CORE_ENV, "0")
+        assert not scalar_core_enabled()
+        monkeypatch.setenv(SCALAR_CORE_ENV, "")
+        assert not scalar_core_enabled()
+
+    def test_scalar_mode_bypasses_design_memo(self, monkeypatch):
+        pricing.clear_caches()
+        monkeypatch.setenv(SCALAR_CORE_ENV, "1")
+        a = design_point("DC-DLA")
+        b = design_point("DC-DLA")
+        assert a is not b
+        assert a == b
+
+    def test_vectorized_mode_shares_design_builds(self, monkeypatch):
+        monkeypatch.delenv(SCALAR_CORE_ENV, raising=False)
+        pricing.clear_caches()
+        a = design_point("DC-DLA")
+        b = design_point("DC-DLA")
+        assert a is b
+        # Keyword overrides always rebuild (never memoized).
+        c = design_point("DC-DLA", n_devices=4)
+        assert c is not a and c.n_devices == 4
+        pricing.clear_caches()
