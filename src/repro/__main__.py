@@ -140,6 +140,9 @@ def _prefetch_main(argv: list[str]) -> int:
     parser.add_argument(
         "-o", "--output", default=None,
         help="write output to this file instead of stdout")
+    from repro.telemetry.session import (TelemetrySession,
+                                         add_telemetry_argument)
+    add_telemetry_argument(parser)
     args = parser.parse_args(argv)
 
     policies = [p.strip() for p in args.policies.split(",")
@@ -160,9 +163,14 @@ def _prefetch_main(argv: list[str]) -> int:
         modes = ["training"]
         kwargs["training_network"] = "AlexNet"
 
-    study = run_prefetch_comparison(policies=tuple(policies),
-                                    modes=tuple(modes),
-                                    jobs=args.jobs, **kwargs)
+    session = TelemetrySession(
+        tool="prefetch", argv=argv, enabled=args.telemetry,
+        output=args.output,
+        config={"policies": policies, "modes": modes, **kwargs})
+    with session:
+        study = run_prefetch_comparison(policies=tuple(policies),
+                                        modes=tuple(modes),
+                                        jobs=args.jobs, **kwargs)
     text = (scalars_json(study) if args.format == "json"
             else format_prefetch_comparison(study))
     if args.output:
@@ -198,6 +206,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
 
 def _trace_main(argv: list[str]) -> int:
     """``python -m repro trace``: export one iteration's Chrome trace."""
+    from repro.cluster.policies import POLICY_NAMES
     from repro.core.design_points import DESIGN_ORDER, design_point
     from repro.core.simulator import iteration_timeline
     from repro.core.trace import engine_utilization, to_chrome_trace
@@ -211,17 +220,41 @@ def _trace_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
         description="Write the Chrome/Perfetto trace JSON of one "
-                    "simulated training iteration.")
+                    "simulated training iteration, or (--cluster) of "
+                    "one cluster run's per-job lifecycle.")
     parser.add_argument("design",
                         help=f"one of {', '.join(DESIGN_ORDER)} "
                              f"(aliases accepted, e.g. mc-hbm)")
-    parser.add_argument("network",
-                        help=f"one of {', '.join(WORKLOAD_NAMES)}")
+    parser.add_argument("network", nargs="?", default=None,
+                        help=f"one of {', '.join(WORKLOAD_NAMES)} "
+                             f"(not used with --cluster)")
     parser.add_argument("--batch", type=int, default=512,
                         help="global batch size (default: 512)")
     parser.add_argument("--strategy", choices=sorted(strategies),
                         default="data",
                         help="parallelization strategy (default: data)")
+    parser.add_argument("--cluster", action="store_true",
+                        help="trace a cluster run instead: one row "
+                             "per job with queued/running/preempted "
+                             "lifecycle slices")
+    parser.add_argument("--policy", default="fifo",
+                        choices=POLICY_NAMES,
+                        help="cluster scheduling policy "
+                             "(default: fifo)")
+    parser.add_argument("--cluster-jobs", type=int, default=24,
+                        help="jobs in the cluster stream "
+                             "(default: 24)")
+    parser.add_argument("--job-mix", default="balanced",
+                        help="cluster job mix (default: balanced)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="cluster job-stream seed (default: 0)")
+    parser.add_argument("--preempt-after", type=float, default=None,
+                        help="cluster preemption patience in seconds "
+                             "(default: off)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="merge host wall-clock spans (plan/emit/"
+                             "schedule/price) into the trace as a "
+                             "second process row")
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default: derived from the "
                              "design/network/strategy)")
@@ -229,17 +262,63 @@ def _trace_main(argv: list[str]) -> int:
 
     try:
         design = resolve_design(args.design)
-        network = resolve_network(args.network)
+        network = (resolve_network(args.network)
+                   if args.network is not None else None)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
 
-    strategy = strategies[args.strategy]
     config = design_point(design)
+
+    if args.cluster:
+        from repro.cluster.jobs import generate_jobs
+        from repro.cluster.simulator import ClusterSimulator
+        from repro.core.trace import cluster_chrome_trace
+        jobs = generate_jobs(args.job_mix, args.cluster_jobs,
+                             seed=args.seed,
+                             node_width=config.n_devices)
+        sim = ClusterSimulator(config, policy=args.policy,
+                               preempt_after=args.preempt_after)
+        ledger, makespan = sim.run(jobs)
+        text = cluster_chrome_trace(ledger.events)
+        path = args.output
+        if path is None:
+            slug = "".join(c if c.isalnum() else "-" for c in
+                           f"{design}-cluster-{args.policy}")
+            path = f"{slug.lower()}.trace.json"
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"wrote {path}: {len(jobs)} jobs, "
+              f"{len(ledger.events)} lifecycle events, "
+              f"makespan {makespan:.1f} s, "
+              f"{ledger.preemptions} preemptions")
+        return 0
+
+    if network is None:
+        print("network is required unless --cluster is given",
+              file=sys.stderr)
+        return 2
+
+    strategy = strategies[args.strategy]
+    host_spans = None
+    if args.telemetry:
+        # Record the simulator's own phase spans over one full run,
+        # then switch tracing back off so the timeline export below
+        # does not re-record duplicates.
+        from repro import telemetry
+        from repro.core.simulator import simulate
+        telemetry.enable(fresh=True)
+        try:
+            simulate(config, network, args.batch, strategy)
+            recorder = telemetry.span_recorder()
+            host_spans = list(recorder.spans) if recorder else []
+        finally:
+            telemetry.disable()
     timeline = iteration_timeline(config, network, args.batch,
                                   strategy)
     text = to_chrome_trace(
-        timeline, include_bubbles=strategy is ParallelStrategy.PIPELINE)
+        timeline, include_bubbles=strategy is ParallelStrategy.PIPELINE,
+        host_spans=host_spans)
 
     path = args.output
     if path is None:
@@ -254,6 +333,11 @@ def _trace_main(argv: list[str]) -> int:
     print(f"wrote {path}: {len(timeline.scheduled)} ops, "
           f"makespan {timeline.makespan * 1e3:.3f} ms, "
           f"utilization {summary}")
+    if len(timeline.channels) > 1:
+        per_channel = engine_utilization(timeline, per_channel=True)
+        busy = " ".join(f"{k}={v:.2f}"
+                        for k, v in per_channel.items() if v > 0)
+        print(f"per-channel utilization: {busy}")
     return 0
 
 

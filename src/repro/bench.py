@@ -261,6 +261,9 @@ def main(argv: list[str] | None = None) -> int:
                              "this run (runs full AND quick sections)")
     parser.add_argument("--root", default=str(REPO_ROOT),
                         help=argparse.SUPPRESS)
+    from repro.telemetry.session import (TelemetrySession,
+                                         add_telemetry_argument)
+    add_telemetry_argument(parser)
     args = parser.parse_args(argv)
 
     suites = [s.strip() for s in args.suites.split(",") if s.strip()]
@@ -271,67 +274,81 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     root = Path(args.root)
 
-    spin = calibration_spin()
-    print(f"calibration spin: {spin * 1e3:.2f} ms")
-    problems: list[str] = []
-    retry: list[tuple[str, str]] = []
-    for suite in suites:
-        sections = (("full", "quick") if args.update
-                    else (("quick",) if args.quick else ("full",)))
-        measured = {}
-        for section in sections:
-            t0 = time.perf_counter()
-            measured[section] = run_suite(suite, quick=section == "quick",
-                                          spin=spin)
-            took = time.perf_counter() - t0
-            n = len(measured[section]["entries"])
-            print(f"{suite}/{section}: {n} timings in {took:.2f}s")
-            for label, cell in measured[section]["entries"].items():
-                print(f"  {label:<28} {cell['seconds'] * 1e3:9.2f} ms "
-                      f"(x{cell['normalized']:.1f} spin)")
-            speedup = measured[section].get("speedup")
-            if speedup is not None:
-                print(f"  scalar/vectorized speedup: {speedup:.1f}x")
-
-        path = bench_path(suite, root)
-        if args.update:
-            doc = {"suite": suite,
-                   "calibration_seconds": round(spin, 6),
-                   "tolerance": TOLERANCE, **measured}
-            path.write_text(json.dumps(doc, indent=2, sort_keys=True)
-                            + "\n")
-            print(f"wrote {path}")
-            continue
-        if not path.exists():
-            problems.append(f"{suite}: no baseline at {path} "
-                            f"(run with --update to create it)")
-            continue
-        baseline = json.loads(path.read_text())
-        for section, current in measured.items():
-            found = check_section(suite, section, current,
-                                  baseline.get(section, {}))
-            if found:
-                retry.append((suite, section))
-            problems.extend(found)
-
-    # Confirm-on-retry: a real regression is deterministic, a noisy
-    # neighbor on a shared runner is not.  Re-measure each suspect
-    # section once (fresh spin) and keep only regressions that
-    # reproduce.
-    if retry and not args.update:
-        confirmed: list[str] = []
+    # With --telemetry the timings run probes-on: diff them against a
+    # plain run to measure the instrumentation overhead itself.
+    session = TelemetrySession(
+        tool="bench",
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        enabled=args.telemetry,
+        config={"suites": suites, "quick": args.quick,
+                "update": args.update})
+    with session:
         spin = calibration_spin()
-        print(f"\nre-checking {len(retry)} suspect section(s) "
-              f"(spin {spin * 1e3:.2f} ms)")
-        for suite, section in retry:
-            again = run_suite(suite, quick=section == "quick", spin=spin)
-            baseline = json.loads(bench_path(suite, root).read_text())
-            confirmed.extend(check_section(
-                suite, section, again, baseline.get(section, {})))
-        problems = [p for p in problems
-                    if not p.startswith(tuple(
-                        f"{s}/{sec}/" for s, sec in retry))]
-        problems.extend(confirmed)
+        print(f"calibration spin: {spin * 1e3:.2f} ms")
+        problems: list[str] = []
+        retry: list[tuple[str, str]] = []
+        for suite in suites:
+            sections = (("full", "quick") if args.update
+                        else (("quick",) if args.quick else ("full",)))
+            measured = {}
+            for section in sections:
+                t0 = time.perf_counter()
+                measured[section] = run_suite(suite,
+                                              quick=section == "quick",
+                                              spin=spin)
+                took = time.perf_counter() - t0
+                n = len(measured[section]["entries"])
+                print(f"{suite}/{section}: {n} timings in {took:.2f}s")
+                for label, cell in measured[section]["entries"].items():
+                    print(f"  {label:<28} "
+                          f"{cell['seconds'] * 1e3:9.2f} ms "
+                          f"(x{cell['normalized']:.1f} spin)")
+                speedup = measured[section].get("speedup")
+                if speedup is not None:
+                    print(f"  scalar/vectorized speedup: "
+                          f"{speedup:.1f}x")
+
+            path = bench_path(suite, root)
+            if args.update:
+                doc = {"suite": suite,
+                       "calibration_seconds": round(spin, 6),
+                       "tolerance": TOLERANCE, **measured}
+                path.write_text(json.dumps(doc, indent=2,
+                                           sort_keys=True) + "\n")
+                print(f"wrote {path}")
+                continue
+            if not path.exists():
+                problems.append(f"{suite}: no baseline at {path} "
+                                f"(run with --update to create it)")
+                continue
+            baseline = json.loads(path.read_text())
+            for section, current in measured.items():
+                found = check_section(suite, section, current,
+                                      baseline.get(section, {}))
+                if found:
+                    retry.append((suite, section))
+                problems.extend(found)
+
+        # Confirm-on-retry: a real regression is deterministic, a
+        # noisy neighbor on a shared runner is not.  Re-measure each
+        # suspect section once (fresh spin) and keep only regressions
+        # that reproduce.
+        if retry and not args.update:
+            confirmed: list[str] = []
+            spin = calibration_spin()
+            print(f"\nre-checking {len(retry)} suspect section(s) "
+                  f"(spin {spin * 1e3:.2f} ms)")
+            for suite, section in retry:
+                again = run_suite(suite, quick=section == "quick",
+                                  spin=spin)
+                baseline = json.loads(
+                    bench_path(suite, root).read_text())
+                confirmed.extend(check_section(
+                    suite, section, again, baseline.get(section, {})))
+            problems = [p for p in problems
+                        if not p.startswith(tuple(
+                            f"{s}/{sec}/" for s, sec in retry))]
+            problems.extend(confirmed)
 
     if problems:
         print("\nbench regression check FAILED:", file=sys.stderr)

@@ -28,9 +28,41 @@ import tempfile
 from pathlib import Path
 
 from repro.core.metrics import SimulationResult
+from repro.telemetry.registry import NOOP, on_activation
 
 #: Environment variable naming a cache directory shared across runs.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Telemetry probes (rebound by the registry activation hook).  The
+#: per-instance ``hits``/``misses``/``bytes_read``/``bytes_written``
+#: tallies on :class:`ResultCache` are always on -- the campaign CLI
+#: summary reports them with or without ``--telemetry``.
+_HIT = NOOP
+_MISS = NOOP
+_READ = NOOP
+_WRITTEN = NOOP
+
+
+def _bind_probes(registry) -> None:
+    global _HIT, _MISS, _READ, _WRITTEN
+    if registry is None:
+        _HIT = _MISS = _READ = _WRITTEN = NOOP
+    else:
+        _HIT = registry.counter(
+            "repro_campaign_cache_hits_total",
+            "campaign cells replayed from the on-disk cache")
+        _MISS = registry.counter(
+            "repro_campaign_cache_misses_total",
+            "campaign cell cache lookups that missed")
+        _READ = registry.counter(
+            "repro_campaign_cache_read_bytes_total",
+            "bytes of cached results read")
+        _WRITTEN = registry.counter(
+            "repro_campaign_cache_written_bytes_total",
+            "bytes of results written to the cache")
+
+
+on_activation(_bind_probes)
 
 _CODE_FINGERPRINT: str | None = None
 
@@ -67,6 +99,11 @@ class ResultCache:
         self.code_version = (code_version if code_version is not None
                              else code_fingerprint())
         self._pruned = False
+        #: Lifetime lookup tallies (always on; see module docstring).
+        self.hits = 0
+        self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
 
     @classmethod
     def from_env(cls) -> "ResultCache | None":
@@ -108,10 +145,17 @@ class ResultCache:
     def get(self, key: str) -> SimulationResult | None:
         """The cached result for ``key``, or ``None`` on any miss."""
         try:
-            data = json.loads(self.path(key).read_text())
-            return SimulationResult.from_dict(data)
+            text = self.path(key).read_text()
+            result = SimulationResult.from_dict(json.loads(text))
         except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            _MISS.inc()
             return None
+        self.hits += 1
+        self.bytes_read += len(text)
+        _HIT.inc()
+        _READ.inc(len(text))
+        return result
 
     def put(self, key: str, result: SimulationResult) -> None:
         """Atomically persist ``result`` under ``key``."""
@@ -119,6 +163,8 @@ class ResultCache:
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(result.to_dict(), sort_keys=True)
+        self.bytes_written += len(payload)
+        _WRITTEN.inc(len(payload))
         fd, tmp_name = tempfile.mkstemp(dir=path.parent,
                                         suffix=".tmp")
         try:

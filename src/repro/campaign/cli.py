@@ -30,6 +30,7 @@ from repro.campaign.runner import CampaignReport, CellOutcome, run_campaign
 from repro.core.design_points import DESIGN_ORDER
 from repro.dnn.registry import (BENCHMARK_NAMES, TRANSFORMER_NAMES,
                                 WORKLOAD_NAMES)
+from repro.telemetry.session import TelemetrySession, add_telemetry_argument
 from repro.training.parallel import ParallelStrategy
 from repro.vmem.prefetch import PREFETCH_POLICY_ORDER
 
@@ -167,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="suppress per-cell progress lines")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink the grid to a 2x2 data-parallel smoke sweep "
+             "(2 designs, 2 networks, batch 256); other axis flags "
+             "are ignored")
+    add_telemetry_argument(parser)
     return parser
 
 
@@ -310,6 +317,17 @@ def _render(report: CampaignReport, fmt: str) -> str:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.quick:
+        # A 4-cell smoke grid: CI runs it with --telemetry to check
+        # the artifact pipeline without paying for a full sweep.
+        args.designs = ",".join(DESIGN_ORDER[:2])
+        args.networks = ",".join(BENCHMARK_NAMES[:2])
+        args.batches = "256"
+        args.strategies = "data"
+        args.prefetch_policies = ""
+        args.arrival_rates = ""
+        args.policies = ""
+
     designs = _split(args.designs)
     unknown = [d for d in designs if d not in DESIGN_ORDER]
     if unknown:
@@ -417,27 +435,74 @@ def main(argv: list[str] | None = None) -> int:
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
 
+    sim_times: list[float] = []
+
     def report_progress(outcome: CellOutcome, done: int,
                         total: int) -> None:
+        if outcome.ok and not outcome.cached:
+            sim_times.append(outcome.elapsed)
         if args.quiet:
             return
         status = ("cached" if outcome.cached
                   else "failed" if not outcome.ok
                   else f"{outcome.elapsed * 1e3:.0f}ms")
         point = outcome.point
-        print(f"[{done}/{total}] {point.name} {point.network} "
-              f"b{point.batch} {point.strategy.value}: {status}",
-              file=sys.stderr)
+        line = (f"[{done}/{total}] {point.name} {point.network} "
+                f"b{point.batch} {point.strategy.value}: {status}")
+        if args.telemetry:
+            # Live cache tally + ETA from the mean simulated-cell
+            # time.  Cache hits replay before any miss simulates, so
+            # the cells still outstanding are all misses.
+            hits = cache.hits if cache is not None else 0
+            line += f" | cache {hits} hit" + ("" if hits == 1 else "s")
+            remaining = total - done
+            if sim_times and remaining:
+                eta = sum(sim_times) / len(sim_times) * remaining
+                line += f", ETA {eta:.1f}s"
+        print(line, file=sys.stderr)
 
-    start = time.perf_counter()
-    report = run_campaign(points, jobs=jobs, cache=cache,
-                          progress=report_progress)
-    elapsed = time.perf_counter() - start
+    session = TelemetrySession(
+        tool="campaign",
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        enabled=args.telemetry, output=args.output,
+        config={"points": [point.describe() for point in points]},
+        seed=args.seed)
+    with session:
+        start = time.perf_counter()
+        report = run_campaign(points, jobs=jobs, cache=cache,
+                              progress=report_progress)
+        elapsed = time.perf_counter() - start
 
-    simulated = len(points) - report.cached_count - len(report.failures)
-    print(f"campaign: {len(points)} cells: {report.cached_count} from "
-          f"cache, {simulated} simulated, {len(report.failures)} failed "
-          f"({elapsed:.2f}s, jobs={jobs})", file=sys.stderr)
+        # One JSONL event per cell, in input order (no wall-clock:
+        # the stream must be identical run to run).
+        for outcome in report.outcomes:
+            session.emit({
+                "event": "cell",
+                "design": outcome.point.name,
+                "network": outcome.point.network,
+                "batch": outcome.point.batch,
+                "strategy": outcome.point.strategy.value,
+                "ok": outcome.ok,
+                "cached": outcome.cached,
+            })
+
+        simulated = (len(points) - report.cached_count
+                     - len(report.failures))
+        session.cells = {"total": len(points),
+                         "cached": report.cached_count,
+                         "simulated": simulated,
+                         "failed": len(report.failures)}
+        print(f"campaign: {len(points)} cells: {report.cached_count} "
+              f"from cache, {simulated} simulated, "
+              f"{len(report.failures)} failed "
+              f"({elapsed:.2f}s, jobs={jobs})", file=sys.stderr)
+        if cache is not None:
+            lookups = cache.hits + cache.misses
+            rate = 100.0 * cache.hits / lookups if lookups else 0.0
+            print(f"cache: {cache.hits} hits, {cache.misses} misses "
+                  f"({rate:.0f}% hit rate), {cache.bytes_read} B "
+                  f"read, {cache.bytes_written} B written",
+                  file=sys.stderr)
 
     text = _render(report, args.format)
     if args.output:

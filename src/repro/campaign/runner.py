@@ -27,6 +27,8 @@ from repro.campaign.points import CampaignPoint
 from repro.core.design_points import design_point
 from repro.core.metrics import SimulationResult
 from repro.core.simulator import simulate
+from repro.telemetry.registry import metrics_registry
+from repro.telemetry.spans import span
 from repro.training.parallel import ParallelStrategy
 
 #: ``progress(outcome, done, total)`` called as each cell finishes.
@@ -95,24 +97,44 @@ class CampaignReport:
         return self
 
 
-def _simulate_cell(point: CampaignPoint,
-                   factory) -> tuple[SimulationResult, float]:
-    """Pool worker: build the config and run one cell (picklable)."""
+def _simulate_cell(point: CampaignPoint, factory,
+                   with_telemetry: bool = False) \
+        -> tuple[SimulationResult, float, dict | None]:
+    """Pool worker: build the config and run one cell (picklable).
+
+    ``with_telemetry`` is the pool path's metric plumbing: the worker
+    runs the cell under its own fresh registry and ships the snapshot
+    back for the parent to merge (in input order, so merged totals
+    are deterministic).  The serial path leaves it ``False`` -- the
+    parent's own registry observes the cell directly.
+    """
+    registry = None
+    if with_telemetry:
+        from repro.telemetry.registry import (disable_metrics,
+                                              enable_metrics)
+        registry = enable_metrics(fresh=True)
     start = time.perf_counter()
-    config = point.build_config(factory)
-    if point.is_serving:
-        # Imported lazily: repro.serving depends on repro.core.
-        from repro.serving.server import simulate_serving
-        result = simulate_serving(config, point.network,
-                                  **dict(point.serving))
-    elif point.is_cluster:
-        # Imported lazily: repro.cluster depends on repro.core.
-        from repro.cluster.simulator import simulate_cluster
-        result = simulate_cluster(config, **dict(point.cluster))
-    else:
-        result = simulate(config, point.network, point.batch,
-                          point.strategy)
-    return result, time.perf_counter() - start
+    try:
+        with span("cell", design=point.name, network=point.network):
+            config = point.build_config(factory)
+            if point.is_serving:
+                # Imported lazily: repro.serving depends on repro.core.
+                from repro.serving.server import simulate_serving
+                result = simulate_serving(config, point.network,
+                                          **dict(point.serving))
+            elif point.is_cluster:
+                # Imported lazily: repro.cluster depends on repro.core.
+                from repro.cluster.simulator import simulate_cluster
+                result = simulate_cluster(config, **dict(point.cluster))
+            else:
+                result = simulate(config, point.network, point.batch,
+                                  point.strategy)
+        elapsed = time.perf_counter() - start
+        snapshot = registry.snapshot() if registry is not None else None
+        return result, elapsed, snapshot
+    finally:
+        if with_telemetry:
+            disable_metrics()
 
 
 def _check_unique_keys(points: tuple[CampaignPoint, ...]) -> None:
@@ -166,7 +188,9 @@ def run_campaign(points: Iterable[CampaignPoint], *, jobs: int = 1,
                 continue
             key = cache.key(description, factory_id)
             keys[index] = key
-            hit = cache.get(key)
+            with span("cache:lookup", design=point.name,
+                      network=point.network):
+                hit = cache.get(key)
             if hit is not None:
                 record(index, CellOutcome(point, hit, cached=True))
                 continue
@@ -184,8 +208,11 @@ def run_campaign(points: Iterable[CampaignPoint], *, jobs: int = 1,
         record(index, CellOutcome(points[index], None, error=error))
 
     if jobs > 1 and len(misses) > 1:
+        worker_telemetry = metrics_registry() is not None
+        snapshots: dict[int, dict] = {}
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            pending = {pool.submit(_simulate_cell, points[i], factory): i
+            pending = {pool.submit(_simulate_cell, points[i], factory,
+                                   worker_telemetry): i
                        for i in misses}
             while pending:
                 finished, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -195,11 +222,21 @@ def run_campaign(points: Iterable[CampaignPoint], *, jobs: int = 1,
                     if exc is not None:
                         fail(index, exc)
                     else:
-                        finish(index, *future.result())
+                        result, elapsed, snapshot = future.result()
+                        if snapshot is not None:
+                            snapshots[index] = snapshot
+                        finish(index, result, elapsed)
+        registry = metrics_registry()
+        if registry is not None:
+            # Merge in input order: counter sums are then the same
+            # floats no matter which worker finished first.
+            for index in sorted(snapshots):
+                registry.merge_snapshot(snapshots[index])
     else:
         for index in misses:
             try:
-                result, elapsed = _simulate_cell(points[index], factory)
+                result, elapsed, _ = _simulate_cell(points[index],
+                                                    factory)
             except Exception as exc:
                 fail(index, exc)
             else:

@@ -25,6 +25,7 @@ from repro.cluster.simulator import (DEFAULT_ARRIVAL_RATE, DEFAULT_JOBS,
                                      simulate_cluster)
 from repro.core.design_points import design_point
 from repro.naming import resolve_design
+from repro.telemetry.session import TelemetrySession, add_telemetry_argument
 from repro.units import GB, fmt_bytes
 
 
@@ -71,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--format", choices=("table", "json"),
                         default="table",
                         help="output format (default: table)")
+    add_telemetry_argument(parser)
     return parser
 
 
@@ -114,14 +116,26 @@ def main(argv: list[str] | None = None) -> int:
     config = design_point(design)
     pool_capacity = (int(args.pool_gb * GB)
                      if args.pool_gb is not None else None)
+    session = TelemetrySession(
+        tool="cluster",
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        enabled=args.telemetry, seed=args.seed,
+        config={"design": design, "policy": args.policy,
+                "job_mix": args.job_mix, "n_jobs": n_jobs,
+                "arrival_rate": args.arrival_rate,
+                "fleet_devices": fleet,
+                "pool_capacity": pool_capacity,
+                "oversubscription": args.pool_oversub,
+                "preempt_after": args.preempt_after})
     try:
-        result = simulate_cluster(
-            config, policy=args.policy, job_mix=args.job_mix,
-            n_jobs=n_jobs, seed=args.seed,
-            arrival_rate=args.arrival_rate, fleet_devices=fleet,
-            pool_capacity=pool_capacity,
-            oversubscription=args.pool_oversub,
-            preempt_after=args.preempt_after)
+        with session:
+            result = simulate_cluster(
+                config, policy=args.policy, job_mix=args.job_mix,
+                n_jobs=n_jobs, seed=args.seed,
+                arrival_rate=args.arrival_rate, fleet_devices=fleet,
+                pool_capacity=pool_capacity,
+                oversubscription=args.pool_oversub,
+                preempt_after=args.preempt_after)
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2

@@ -82,6 +82,11 @@ class _Ledger:
     peak_reserved: int = 0
     finished: list = field(default_factory=list)  # (spec, first, end)
     first_dispatch: dict = field(default_factory=dict)
+    #: Per-job lifecycle events, in occurrence order:
+    #: ``(kind, jid, time)`` with kind one of ``arrive`` / ``start``
+    #: / ``preempt`` / ``finish``.  Feeds the Chrome-trace exporter
+    #: (:func:`repro.core.trace.cluster_chrome_trace`).
+    events: list = field(default_factory=list)
 
 
 def estimated_wall_seconds(remaining: float, profile: JobProfile,
@@ -203,6 +208,7 @@ class ClusterSimulator:
                                        self.pool.reserved)
             jid = profile.spec.jid
             ledger.first_dispatch.setdefault(jid, t)
+            ledger.events.append(("start", jid, t))
             running.append(_Running(profile=profile,
                                     remaining=entry.remaining,
                                     started=t,
@@ -216,6 +222,7 @@ class ClusterSimulator:
             spec = job.profile.spec
             ledger.finished.append(
                 (spec, ledger.first_dispatch[spec.jid], t))
+            ledger.events.append(("finish", spec.jid, t))
             refresh_dilation()
 
         def preempt(job: _Running) -> None:
@@ -228,6 +235,7 @@ class ClusterSimulator:
             ledger.checkpoint_seconds += overhead
             ledger.checkpoint_bytes += 2 * job.profile.state_bytes
             ledger.preemptions += 1
+            ledger.events.append(("preempt", job.profile.spec.jid, t))
             pending.append(_Pending(profile=job.profile,
                                     enqueued_at=t,
                                     remaining=job.remaining + overhead,
@@ -327,6 +335,7 @@ class ClusterSimulator:
             while (index < len(stream)
                    and stream[index].arrival <= t + _EPS):
                 spec = stream[index]
+                ledger.events.append(("arrive", spec.jid, spec.arrival))
                 pending.append(_Pending(profile=profiles[index],
                                         enqueued_at=spec.arrival,
                                         remaining=profiles[index].service))
@@ -370,6 +379,28 @@ def fold_stats(ledger: _Ledger, makespan: float, *, policy: str,
     )
 
 
+def _record_cluster(stats: ClusterStats, ledger: _Ledger) -> None:
+    """Telemetry probe: per-policy event-loop counters, folded once
+    after the run from the ledger (the loop itself is untouched)."""
+    from repro.telemetry.registry import metrics_registry
+    registry = metrics_registry()
+    if registry is None:
+        return
+    labels = {"policy": stats.policy}
+    registry.counter(
+        "repro_cluster_jobs_total",
+        "jobs completed by the cluster event loop",
+        **labels).inc(stats.n_jobs)
+    registry.counter(
+        "repro_cluster_preemptions_total",
+        "running jobs evicted to unblock a starved queue entry",
+        **labels).inc(stats.preemptions)
+    registry.counter(
+        "repro_cluster_events_total",
+        "job lifecycle events recorded",
+        **labels).inc(len(ledger.events))
+
+
 def simulate_cluster(config: SystemConfig, *, policy: str = "fifo",
                      job_mix: str = "balanced",
                      n_jobs: int = DEFAULT_JOBS, seed: int = 0,
@@ -402,10 +433,13 @@ def simulate_cluster(config: SystemConfig, *, policy: str = "fifo",
                            pool_capacity=pool_capacity,
                            oversubscription=oversubscription,
                            preempt_after=preempt_after)
-    ledger, makespan = sim.run(jobs)
+    from repro.telemetry.spans import span
+    with span("cluster:run", policy=policy, jobs=len(jobs)):
+        ledger, makespan = sim.run(jobs)
     stats = fold_stats(ledger, makespan, policy=policy,
                        job_mix=mix_label,
                        fleet_devices=sim.fleet_devices, pool=sim.pool)
+    _record_cluster(stats, ledger)
 
     return SimulationResult(
         system=config.name,

@@ -45,9 +45,37 @@ import numpy as np
 
 from repro.core.timeline import (EngineKind, Op, OpList, ScheduledOp,
                                  TimelineResult, run_timeline)
+from repro.telemetry.registry import NOOP, on_activation
 
 #: Environment variable selecting the scalar reference core.
 SCALAR_CORE_ENV = "REPRO_SCALAR_CORE"
+
+#: Telemetry probes for :func:`schedule_table`, updated once per call
+#: *after* the scheduling loop -- the tight loop itself is untouched.
+_SCHED_RUNS = NOOP
+_SCHED_OPS = NOOP
+_SCHED_TABLE_OPS = NOOP
+
+
+def _bind_probes(registry) -> None:
+    global _SCHED_RUNS, _SCHED_OPS, _SCHED_TABLE_OPS
+    if registry is None:
+        _SCHED_RUNS = _SCHED_OPS = _SCHED_TABLE_OPS = NOOP
+    else:
+        _SCHED_RUNS = registry.counter(
+            "repro_schedule_runs_total",
+            "schedule_table invocations")
+        _SCHED_OPS = registry.counter(
+            "repro_schedule_ops_total",
+            "ops scheduled by schedule_table")
+        _SCHED_TABLE_OPS = registry.histogram(
+            "repro_schedule_table_ops",
+            "ops per scheduled op table",
+            buckets=(64, 128, 256, 512, 1024, 2048, 4096, 8192,
+                     16384))
+
+
+on_activation(_bind_probes)
 
 #: Stable integer codes for the four engine kinds (column dtype int8).
 ENGINE_CODE: dict[EngineKind, int] = {
@@ -295,6 +323,9 @@ def schedule_table(table: OpTable) -> ColumnarTimeline:
         for code in range(4)
         for channel, seconds in busy_ch_by_code[code].items()}
     makespan = max(finish, default=0.0)
+    _SCHED_RUNS.inc()
+    _SCHED_OPS.inc(len(durations))
+    _SCHED_TABLE_OPS.observe(len(durations))
     return ColumnarTimeline(table=table, start=start, finish=finish,
                             prev_slot_finish=prev_slot,
                             makespan=makespan, busy=busy,

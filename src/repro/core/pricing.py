@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING
 from weakref import WeakKeyDictionary
 
 from repro.core.optable import scalar_core_enabled
+from repro.telemetry.registry import NOOP, on_activation
 from repro.training.backprop import TrainingStep, expand
 from repro.training.parallel import (ParallelStrategy, PartitionedLayer,
                                      partition)
@@ -75,6 +76,30 @@ _LAYER_BWD: dict = {}
 #: cluster cost-oracle instances (one design is priced once, not once
 #: per scheduling policy).
 _CLUSTER_CELLS: dict = {}
+
+#: Telemetry probes: one hit/miss counter pair per memo, rebound
+#: between real series and :data:`NOOP` by the registry activation
+#: hook so the lookup paths never test an enabled flag.
+_MEMO_NAMES = ("partition", "migration", "layer-times", "layer-fwd",
+               "layer-bwd", "collective", "dma", "cluster-cell")
+_HITS: dict = dict.fromkeys(_MEMO_NAMES, NOOP)
+_MISSES: dict = dict.fromkeys(_MEMO_NAMES, NOOP)
+
+
+def _bind_probes(registry) -> None:
+    for memo in _MEMO_NAMES:
+        if registry is None:
+            _HITS[memo] = _MISSES[memo] = NOOP
+        else:
+            _HITS[memo] = registry.counter(
+                "repro_pricing_memo_hits_total",
+                "pricing-memo lookups served from cache", memo=memo)
+            _MISSES[memo] = registry.counter(
+                "repro_pricing_memo_misses_total",
+                "pricing-memo lookups computed fresh", memo=memo)
+
+
+on_activation(_bind_probes)
 
 
 def clear_caches() -> None:
@@ -113,7 +138,10 @@ def cached_partition(net: "Network", batch: int,
     key = ("partition", net.version, batch, strategy, n_devices)
     cache = _net_cache(net)
     if key not in cache:
+        _MISSES["partition"].inc()
         cache[key] = partition(net, batch, strategy, n_devices)
+    else:
+        _HITS["partition"].inc()
     return cache[key]
 
 
@@ -132,8 +160,11 @@ def cached_migration(net: "Network", batch: int, virtualize: bool) \
     key = ("migration", net.version, batch, virtualize)
     cache = _net_cache(net)
     if key not in cache:
+        _MISSES["migration"].inc()
         plans = policy.plan(net, batch)
         cache[key] = (plans, expand(net, plans))
+    else:
+        _HITS["migration"].inc()
     return cache[key]
 
 
@@ -162,7 +193,10 @@ def layer_times(net: "Network", device: "DeviceSpec", batch: int,
            n_devices)
     cache = _net_cache(net)
     if key not in cache:
+        _MISSES["layer-times"].inc()
         cache[key] = compute()
+    else:
+        _HITS["layer-times"].inc()
     return cache[key]
 
 
@@ -173,7 +207,10 @@ def layer_fwd_time(device: "DeviceSpec", layer: "Layer",
         return device.layer_fwd_time(layer, batch)
     key = (device, layer, batch)
     if key not in _LAYER_FWD:
+        _MISSES["layer-fwd"].inc()
         _LAYER_FWD[key] = device.layer_fwd_time(layer, batch)
+    else:
+        _HITS["layer-fwd"].inc()
     return _LAYER_FWD[key]
 
 
@@ -184,7 +221,10 @@ def layer_bwd_time(device: "DeviceSpec", layer: "Layer",
         return device.layer_bwd_time(layer, batch)
     key = (device, layer, batch)
     if key not in _LAYER_BWD:
+        _MISSES["layer-bwd"].inc()
         _LAYER_BWD[key] = device.layer_bwd_time(layer, batch)
+    else:
+        _HITS["layer-bwd"].inc()
     return _LAYER_BWD[key]
 
 
@@ -209,7 +249,10 @@ def collective_time(model: "CollectiveModel", primitive,
     memo = _collective_memo(model)
     key = (primitive, nbytes)
     if key not in memo:
+        _MISSES["collective"].inc()
         memo[key] = model.time(primitive, nbytes)
+    else:
+        _HITS["collective"].inc()
     return memo[key]
 
 
@@ -229,7 +272,10 @@ def collective_pricer(model: "CollectiveModel") \
     def priced(primitive, nbytes: int) -> float:
         key = (primitive, nbytes)
         if key not in memo:
+            _MISSES["collective"].inc()
             memo[key] = time(primitive, nbytes)
+        else:
+            _HITS["collective"].inc()
         return memo[key]
 
     return priced
@@ -256,12 +302,18 @@ class MemoPricer:
     def __call__(self, nbytes: int) -> float:
         cache = self.cache
         if nbytes not in cache:
+            _MISSES["dma"].inc()
             cache[nbytes] = self.fn(nbytes)
+        else:
+            _HITS["dma"].inc()
         return cache[nbytes]
 
     def many(self, sizes: list[int]) -> list[float]:
         """Price a list of transfer sizes (vectorized when possible)."""
         if self.array_fn is not None and len(sizes) > 2:
+            # The array variant recomputes every size regardless of
+            # what the memo holds, so the whole batch counts as misses.
+            _MISSES["dma"].inc(len(sizes))
             priced = self.array_fn(sizes)
             out = [float(x) for x in priced]
             self.cache.update(zip(sizes, out))
@@ -291,5 +343,8 @@ def cached_cluster_cell(config: "SystemConfig", key: tuple,
         return thunk()
     full_key = (config, key)
     if full_key not in _CLUSTER_CELLS:
+        _MISSES["cluster-cell"].inc()
         _CLUSTER_CELLS[full_key] = thunk()
+    else:
+        _HITS["cluster-cell"].inc()
     return _CLUSTER_CELLS[full_key]

@@ -21,6 +21,7 @@ from repro.core.timeline import EngineKind
 from repro.dnn.graph import Network
 from repro.dnn.registry import build_network
 from repro.host.cpu import CpuBandwidthUsage, socket_usage
+from repro.telemetry.spans import span
 from repro.training.parallel import ParallelStrategy
 from repro.vmem.prefetch import collect_prefetch_stats
 
@@ -71,12 +72,16 @@ def simulate(config: SystemConfig, network: Network | str,
                          f"runs through repro.serving")
     if strategy is ParallelStrategy.PIPELINE:
         return _simulate_pipeline(config, net, batch)
-    plan = plan_iteration(net, config, batch, strategy)
-    pricer = iteration_pricer(plan, config)
-    psched = plan_training_prefetch(plan, config, pricer)
-    ops = build_iteration_ops(plan, config, prefetch=psched,
-                              pricer=pricer)
-    timeline = schedule_ops(ops)
+    with span("plan", mode="training"):
+        plan = plan_iteration(net, config, batch, strategy)
+    with span("price", mode="training"):
+        pricer = iteration_pricer(plan, config)
+        psched = plan_training_prefetch(plan, config, pricer)
+    with span("emit", mode="training"):
+        ops = build_iteration_ops(plan, config, prefetch=psched,
+                                  pricer=pricer)
+    with span("schedule", mode="training"):
+        timeline = schedule_ops(ops)
 
     breakdown = LatencyBreakdown(
         compute=timeline.busy_time(EngineKind.COMPUTE),
@@ -118,12 +123,16 @@ def _simulate_inference(config: SystemConfig, net: Network, batch: int,
     *one-way* weight bytes fetched from the backing store -- inference
     pushes nothing back.
     """
-    plan = plan_inference(net, config, batch, strategy)
-    pricer = inference_pricer(plan, config)
-    psched = plan_inference_prefetch(plan, config, pricer)
-    ops = build_inference_ops(plan, config, prefetch=psched,
-                              pricer=pricer)
-    timeline = schedule_ops(ops)
+    with span("plan", mode="inference"):
+        plan = plan_inference(net, config, batch, strategy)
+    with span("price", mode="inference"):
+        pricer = inference_pricer(plan, config)
+        psched = plan_inference_prefetch(plan, config, pricer)
+    with span("emit", mode="inference"):
+        ops = build_inference_ops(plan, config, prefetch=psched,
+                                  pricer=pricer)
+    with span("schedule", mode="inference"):
+        timeline = schedule_ops(ops)
 
     breakdown = LatencyBreakdown(
         compute=timeline.busy_time(EngineKind.COMPUTE),
@@ -163,12 +172,16 @@ def _simulate_pipeline(config: SystemConfig, net: Network,
                                          pipeline_stats, plan_pipeline,
                                          plan_pipeline_prefetch)
 
-    plan = plan_pipeline(net, config, batch)
-    pricer = pipeline_pricer(plan, config)
-    psched = plan_pipeline_prefetch(plan, config, pricer)
-    ops = build_pipeline_ops(plan, config, prefetch=psched,
-                             pricer=pricer)
-    timeline = schedule_ops(ops)
+    with span("plan", mode="pipeline"):
+        plan = plan_pipeline(net, config, batch)
+    with span("price", mode="pipeline"):
+        pricer = pipeline_pricer(plan, config)
+        psched = plan_pipeline_prefetch(plan, config, pricer)
+    with span("emit", mode="pipeline"):
+        ops = build_pipeline_ops(plan, config, prefetch=psched,
+                                 pricer=pricer)
+    with span("schedule", mode="pipeline"):
+        timeline = schedule_ops(ops)
     stats = pipeline_stats(plan, timeline)
 
     breakdown = LatencyBreakdown(

@@ -123,12 +123,20 @@ def _bubble_events(result: TimelineResult, pid: int,
 
 
 def to_chrome_trace(result: TimelineResult, pid: int = 1,
-                    include_bubbles: bool = False) -> str:
+                    include_bubbles: bool = False,
+                    host_spans=None) -> str:
     """Serialize the timeline as Chrome ``trace_event`` JSON.
 
     ``include_bubbles`` adds explicit idle slices on each compute row
     (between its first and last op) -- the visual bubble of a pipeline
     schedule.
+
+    ``host_spans`` merges host-side wall-clock spans (from
+    :mod:`repro.telemetry.spans`) into the same trace: the host rows
+    export at ``pid=0`` so they sort above the simulated engine rows,
+    and one Perfetto view shows where the *simulator* spent its time
+    over the timeline it produced.  Note the two processes tick
+    different clocks -- host microseconds vs simulated microseconds.
     """
     channels = result.channels
     multi = len(channels) > 1
@@ -164,18 +172,109 @@ def to_chrome_trace(result: TimelineResult, pid: int = 1,
         })
     if include_bubbles:
         events.extend(_bubble_events(result, pid, tid_of))
+    if host_spans is not None:
+        from repro.telemetry.spans import chrome_span_events
+        merged = chrome_span_events(host_spans)
+        merged.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "simulated timeline"}})
+        events = merged + events
     return json.dumps({"traceEvents": events,
                        "displayTimeUnit": "ms"})
 
 
-def engine_utilization(result: TimelineResult) -> dict[str, float]:
+#: Job lifecycle slice names for cluster traces, in row order.
+_CLUSTER_PHASES = ("queued", "running", "preempted")
+
+
+def cluster_chrome_trace(events, pid: int = 1) -> str:
+    """Chrome ``trace_event`` JSON for one cluster run.
+
+    ``events`` is the ledger's per-job lifecycle stream --
+    ``(kind, jid, time)`` tuples with kind ``arrive`` / ``start`` /
+    ``preempt`` / ``finish`` (see
+    :class:`repro.cluster.simulator._Ledger`).  Each job becomes one
+    row (``tid = jid``) of lifecycle slices: ``queued`` from arrival
+    (or preemption) until dispatch, ``running`` from dispatch until
+    preemption or completion, ``preempted`` marking the
+    checkpoint-and-requeue interval.  Times are simulated seconds,
+    exported as microseconds.
+    """
+    per_job: dict[int, list[tuple[str, float]]] = {}
+    for kind, jid, when in events:
+        per_job.setdefault(jid, []).append((kind, when))
+
+    trace_events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "cluster jobs"}}]
+    for jid in sorted(per_job):
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": jid,
+            "cat": "__metadata", "args": {"name": f"job{jid}"}})
+
+    def slice_event(name: str, jid: int, start: float,
+                    end: float) -> dict:
+        return {
+            "name": name, "cat": name, "ph": "X", "pid": pid,
+            "tid": jid, "ts": start * 1e6,
+            "dur": max(0.0, end - start) * 1e6,
+            "args": {"jid": jid},
+        }
+
+    for jid in sorted(per_job):
+        waiting_since: float | None = None
+        waiting_as = "queued"
+        running_since: float | None = None
+        for kind, when in per_job[jid]:
+            if kind == "arrive":
+                waiting_since = when
+                waiting_as = "queued"
+            elif kind == "start":
+                if waiting_since is not None:
+                    trace_events.append(slice_event(
+                        waiting_as, jid, waiting_since, when))
+                    waiting_since = None
+                running_since = when
+            elif kind == "preempt":
+                if running_since is not None:
+                    trace_events.append(slice_event(
+                        "running", jid, running_since, when))
+                    running_since = None
+                waiting_since = when
+                waiting_as = "preempted"
+            elif kind == "finish":
+                if running_since is not None:
+                    trace_events.append(slice_event(
+                        "running", jid, running_since, when))
+                    running_since = None
+            else:
+                raise ValueError(f"unknown lifecycle event {kind!r}")
+    return json.dumps({"traceEvents": trace_events,
+                       "displayTimeUnit": "ms"})
+
+
+def engine_utilization(result: TimelineResult,
+                       per_channel: bool = False) -> dict[str, float]:
     """Busy fraction of each engine over the iteration makespan.
 
     Multi-channel (pipeline) timelines report the *fleet average*:
-    total busy time across stages over ``n_stages * makespan``.
+    total busy time across stages over ``n_stages * makespan``.  With
+    ``per_channel=True`` the dict instead carries one
+    ``"engine[channel]"`` entry per (engine, channel) pair, each the
+    channel's own busy fraction of the makespan -- what the telemetry
+    summary table reports for pipeline stages.
     """
+    channels = result.channels
+    if per_channel:
+        if result.makespan <= 0:
+            return {f"{engine.value}[{channel}]": 0.0
+                    for channel in channels for engine in EngineKind}
+        return {
+            f"{engine.value}[{channel}]":
+                result.busy_time(engine, channel) / result.makespan
+            for channel in channels for engine in EngineKind}
     if result.makespan <= 0:
         return {engine.value: 0.0 for engine in EngineKind}
-    denominator = result.makespan * len(result.channels)
+    denominator = result.makespan * len(channels)
     return {engine.value: result.busy_time(engine) / denominator
             for engine in EngineKind}

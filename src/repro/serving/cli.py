@@ -30,6 +30,7 @@ from repro.naming import (DESIGN_ALIASES, NETWORK_ALIASES,  # noqa: F401
                           resolve_design, resolve_network)
 from repro.serving.server import (DEFAULT_DECODE_STEPS, DEFAULT_REQUESTS,
                                   DEFAULT_SLO, simulate_serving)
+from repro.telemetry.session import TelemetrySession, add_telemetry_argument
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--format", choices=("table", "json"),
                         default="table",
                         help="output format (default: table)")
+    add_telemetry_argument(parser)
     return parser
 
 
@@ -126,13 +128,26 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     config = design_point(design)
-    result = simulate_serving(
-        config, network,
-        arrival=args.arrival, rate=args.arrival_rate,
-        n_requests=args.requests, seed=args.seed,
-        slo=args.slo_ms / 1e3, max_batch=args.max_batch,
-        max_wait=args.max_wait_ms / 1e3, batcher=args.batcher,
-        decode_steps=args.decode_steps)
+    session = TelemetrySession(
+        tool="serve",
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        enabled=args.telemetry, seed=args.seed,
+        config={"design": design, "network": network,
+                "arrival": args.arrival, "rate": args.arrival_rate,
+                "n_requests": args.requests,
+                "slo": args.slo_ms / 1e3,
+                "max_batch": args.max_batch,
+                "max_wait": args.max_wait_ms / 1e3,
+                "batcher": args.batcher,
+                "decode_steps": args.decode_steps})
+    with session:
+        result = simulate_serving(
+            config, network,
+            arrival=args.arrival, rate=args.arrival_rate,
+            n_requests=args.requests, seed=args.seed,
+            slo=args.slo_ms / 1e3, max_batch=args.max_batch,
+            max_wait=args.max_wait_ms / 1e3, batcher=args.batcher,
+            decode_steps=args.decode_steps)
 
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))

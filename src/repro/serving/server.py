@@ -261,6 +261,28 @@ def build_trace(arrival: str, rate: float, n_requests: int, seed: int,
                      f"known: poisson, bursty, replay")
 
 
+def _record_serving(ledger: ServingLedger, batcher: str) -> None:
+    """Telemetry probe: per-batcher loop counters, folded once after
+    the event loop from its ledger."""
+    from repro.telemetry.registry import metrics_registry
+    registry = metrics_registry()
+    if registry is None:
+        return
+    labels = {"batcher": batcher}
+    registry.counter(
+        "repro_serving_requests_total",
+        "requests completed by the serving loop",
+        **labels).inc(len(ledger.completed))
+    registry.counter(
+        "repro_serving_batches_total",
+        "batches dispatched (dynamic) or iterations executed "
+        "(continuous)", **labels).inc(ledger.n_batches)
+    registry.counter(
+        "repro_serving_work_items_total",
+        "request-batch memberships",
+        **labels).inc(ledger.work_items)
+
+
 def simulate_serving(config: SystemConfig, network: str, *,
                      arrival: str = "poisson", rate: float = 100.0,
                      n_requests: int = DEFAULT_REQUESTS, seed: int = 0,
@@ -292,14 +314,19 @@ def simulate_serving(config: SystemConfig, network: str, *,
                      if arrival != "replay"
                      else f"replay(n={len(trace)})")
 
+    from repro.telemetry.spans import span
+
     prefill = BatchLatencyModel(config, network)
     if batcher == "dynamic":
-        ledger = run_dynamic(trace, policy, prefill,
-                             n_servers=config.n_devices)
+        with span("serving:batcher", batcher=batcher):
+            ledger = run_dynamic(trace, policy, prefill,
+                                 n_servers=config.n_devices)
         n_servers = config.n_devices
     elif batcher == "continuous":
         step = BatchLatencyModel(config, decode_network(network))
-        ledger = run_continuous(trace, policy, step, prefill_fn=prefill)
+        with span("serving:batcher", batcher=batcher):
+            ledger = run_continuous(trace, policy, step,
+                                    prefill_fn=prefill)
         n_servers = 1
     else:
         raise ValueError(f"unknown batcher {batcher!r}; "
@@ -308,6 +335,7 @@ def simulate_serving(config: SystemConfig, network: str, *,
     stats = compute_stats(ledger, arrival=arrival_label,
                           batcher=batcher, policy=policy, slo=slo,
                           offered_rate=rate, n_servers=n_servers)
+    _record_serving(ledger, batcher)
     shape = prefill.result(max_batch)
 
     return SimulationResult(

@@ -1,0 +1,66 @@
+"""repro.telemetry: metrics, span tracing, and run manifests.
+
+The observability layer for the whole package.  Three pieces:
+
+* :mod:`repro.telemetry.registry` -- a process-wide deterministic
+  metrics registry (labeled counters/gauges/histograms, exact JSON
+  round-trip snapshots, Prometheus text export) with true no-op
+  handles when disabled;
+* :mod:`repro.telemetry.spans` -- a host-side wall-clock span tracer
+  whose spans nest and export standalone or merged into the
+  Chrome/Perfetto trace from :mod:`repro.core.trace`;
+* :mod:`repro.telemetry.manifest` -- the run-provenance manifest
+  (config/code fingerprints, seed, interpreter versions, per-phase
+  wall-clock).
+
+Everything is **off by default and inert when off**: probes compile
+to calls on shared no-op singletons, simulated results are
+byte-identical either way, and the CLI layer
+(:mod:`repro.telemetry.session`) only activates under the
+``--telemetry`` flag.
+
+    from repro import telemetry
+
+    telemetry.enable()
+    ... run simulations ...
+    snapshot = telemetry.metrics_registry().snapshot()
+    telemetry.disable()
+"""
+
+from repro.telemetry.registry import (NOOP, Counter, Gauge, Histogram,
+                                      MetricsRegistry, counter,
+                                      disable_metrics, enable_metrics,
+                                      gauge, histogram,
+                                      metrics_registry, on_activation,
+                                      to_prometheus)
+from repro.telemetry.spans import (NOOP_SPAN, Span, SpanRecorder,
+                                   chrome_span_events, disable_tracing,
+                                   enable_tracing, span, span_recorder,
+                                   span_totals)
+
+__all__ = [
+    "NOOP", "NOOP_SPAN", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "Span", "SpanRecorder", "chrome_span_events",
+    "counter", "disable", "disable_metrics", "disable_tracing",
+    "enable", "enable_metrics", "enable_tracing", "enabled", "gauge",
+    "histogram", "metrics_registry", "on_activation", "span",
+    "span_recorder", "span_totals", "to_prometheus",
+]
+
+
+def enable(fresh: bool = True) -> MetricsRegistry:
+    """Turn on both the metrics registry and the span tracer."""
+    registry = enable_metrics(fresh)
+    enable_tracing(fresh)
+    return registry
+
+
+def disable() -> None:
+    """Turn off metrics and tracing; probes rebind to no-ops."""
+    disable_metrics()
+    disable_tracing()
+
+
+def enabled() -> bool:
+    """True when the metrics registry is live."""
+    return metrics_registry() is not None

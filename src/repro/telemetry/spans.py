@@ -1,0 +1,168 @@
+"""Host-side span tracer: nestable wall-clock spans.
+
+Spans measure the *host* -- how long ``simulate()`` spent planning vs
+pricing vs emitting vs scheduling, how long each campaign cell took,
+where the cluster event loop and the serving batcher burn wall-clock
+-- as opposed to the simulated device timeline the rest of the
+package models.  Like the metrics registry, tracing is off by default
+and free when off: :func:`span` returns the shared no-op context
+manager without allocating.
+
+Recorded spans carry ``(name, start, end, depth, args)`` with times
+in seconds relative to the recorder's origin.  They export standalone
+as Chrome trace events (:func:`chrome_span_events`, ``pid=0`` so the
+host rows sort above the simulated timeline's ``pid=1``) or merge
+into ``core.trace.to_chrome_trace(..., host_spans=...)``, and
+:func:`span_totals` aggregates per-name wall-clock for the run
+manifest and the CLI summary table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "NOOP_SPAN", "Span", "SpanRecorder", "span", "enable_tracing",
+    "disable_tracing", "span_recorder", "span_totals",
+    "chrome_span_events",
+]
+
+#: Default Chrome-trace process id for host spans; the simulated
+#: timeline exports at ``pid=1``, so the host rows sort first.
+HOST_PID = 0
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed span: times are seconds since the recorder origin."""
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _NoopSpan:
+    """The do-nothing context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    __slots__ = ("_recorder", "_name", "_args", "_start", "_depth")
+
+    def __init__(self, recorder: SpanRecorder, name: str,
+                 args: dict[str, Any]) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> _LiveSpan:
+        stack = self._recorder._stack
+        self._depth = len(stack)
+        stack.append(self)
+        self._start = time.perf_counter() - self._recorder.origin
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter() - self._recorder.origin
+        self._recorder._stack.pop()
+        self._recorder.spans.append(Span(
+            self._name, self._start, end, self._depth, self._args))
+        return False
+
+
+class SpanRecorder:
+    """Collects spans; one per process, created by
+    :func:`enable_tracing`."""
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        self.spans: list[Span] = []
+        self._stack: list[_LiveSpan] = []
+
+    def span(self, name: str, **args) -> _LiveSpan:
+        return _LiveSpan(self, name, args)
+
+
+_RECORDER: SpanRecorder | None = None
+
+
+def span_recorder() -> SpanRecorder | None:
+    """The live recorder, or ``None`` when tracing is disabled."""
+    return _RECORDER
+
+
+def enable_tracing(fresh: bool = True) -> SpanRecorder:
+    global _RECORDER
+    if _RECORDER is None or fresh:
+        _RECORDER = SpanRecorder()
+    return _RECORDER
+
+
+def disable_tracing() -> None:
+    global _RECORDER
+    _RECORDER = None
+
+
+def span(name: str, **args):
+    """A context manager timing ``name``; :data:`NOOP_SPAN` when
+    tracing is disabled."""
+    recorder = _RECORDER
+    if recorder is None:
+        return NOOP_SPAN
+    return recorder.span(name, **args)
+
+
+def span_totals(spans) -> dict[str, dict[str, float]]:
+    """Per-name aggregates: ``{name: {count, seconds}}``, sorted by
+    name.  Nested spans each contribute their own wall-clock (a
+    parent's total includes its children's)."""
+    totals: dict[str, dict[str, float]] = {}
+    for item in spans:
+        entry = totals.setdefault(item.name,
+                                  {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += item.duration
+    return dict(sorted(totals.items()))
+
+
+def chrome_span_events(spans, pid: int = HOST_PID) -> list[dict]:
+    """Chrome trace_event dicts for host spans: one ``host`` thread
+    row of ``ph: "X"`` complete events (nesting is implied by
+    ts/dur containment on a single tid), plus process/thread
+    metadata naming the row."""
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "host"}},
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "host wall-clock"}},
+    ]
+    for item in sorted(spans, key=lambda s: (s.start, s.depth)):
+        events.append({
+            "name": item.name,
+            "cat": "host",
+            "ph": "X",
+            "ts": item.start * 1e6,
+            "dur": item.duration * 1e6,
+            "pid": pid,
+            "tid": 0,
+            "args": {k: str(v) for k, v in item.args.items()},
+        })
+    return events

@@ -566,7 +566,9 @@ def collect_prefetch_stats(timeline: TimelineResult, policy: str,
     from repro.core.timeline import EngineKind
 
     if isinstance(timeline, ColumnarTimeline):
-        return _collect_columnar(timeline, policy, evictions)
+        stats = _collect_columnar(timeline, policy, evictions)
+        _record_stats(stats)
+        return stats
 
     scheduled = timeline.scheduled
     prev_finish: dict[tuple[EngineKind, int], float] = {}
@@ -610,7 +612,7 @@ def collect_prefetch_stats(timeline: TimelineResult, policy: str,
         prev_finish[slot] = entry.finish
     hit_rate = 1.0 if n_prefetches == 0 \
         else (n_prefetches - late) / n_prefetches
-    return PrefetchStats(
+    stats = PrefetchStats(
         policy=policy,
         n_prefetches=n_prefetches,
         prefetch_bytes=prefetch_bytes,
@@ -621,3 +623,29 @@ def collect_prefetch_stats(timeline: TimelineResult, policy: str,
         hit_rate=hit_rate,
         contended_seconds=dma_busy.overlap(comm_busy),
     )
+    _record_stats(stats)
+    return stats
+
+
+def _record_stats(stats) -> None:
+    """Telemetry probe: per-policy issue/waste/evict counters,
+    updated once per collected timeline (never in the hot loops)."""
+    from repro.telemetry.registry import metrics_registry
+    registry = metrics_registry()
+    if registry is None:
+        return
+    labels = {"policy": stats.policy}
+    registry.counter(
+        "repro_prefetch_issues_total",
+        "prefetch DMAs issued", **labels).inc(stats.n_prefetches)
+    registry.counter(
+        "repro_prefetch_evictions_total",
+        "prefetch stash evictions", **labels).inc(stats.evictions)
+    registry.counter(
+        "repro_prefetch_wasted_bytes_total",
+        "speculative prefetch bytes never consumed",
+        **labels).inc(stats.wasted_bytes)
+    registry.counter(
+        "repro_prefetch_late_total",
+        "prefetches that arrived after their consumer could run",
+        **labels).inc(stats.late)

@@ -176,6 +176,30 @@ class TestUtilization:
         util = engine_utilization(run_timeline(OpList()))
         assert all(v == 0.0 for v in util.values())
 
+    def test_per_channel_matches_fleet_average(self, pipeline_timeline):
+        per = engine_utilization(pipeline_timeline, per_channel=True)
+        channels = pipeline_timeline.channels
+        assert set(per) == {f"{engine.value}[{channel}]"
+                            for channel in channels
+                            for engine in EngineKind}
+        fleet = engine_utilization(pipeline_timeline)
+        for engine in EngineKind:
+            mean = (sum(per[f"{engine.value}[{c}]"] for c in channels)
+                    / len(channels))
+            assert mean == pytest.approx(fleet[engine.value])
+
+    def test_per_channel_spmd_collapses_to_fleet(self,
+                                                 alexnet_timeline):
+        per = engine_utilization(alexnet_timeline, per_channel=True)
+        fleet = engine_utilization(alexnet_timeline)
+        assert per == {f"{engine.value}[0]": fleet[engine.value]
+                       for engine in EngineKind}
+
+    def test_per_channel_empty_timeline(self):
+        per = engine_utilization(run_timeline(OpList()),
+                                 per_channel=True)
+        assert all(v == 0.0 for v in per.values())
+
 
 class TestBarRenderers:
     def test_format_bars(self):
