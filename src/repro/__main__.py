@@ -181,6 +181,79 @@ def _prefetch_main(argv: list[str]) -> int:
     return 0
 
 
+def _faults_main(argv: list[str]) -> int:
+    """``python -m repro faults``: the fault x design x mode study."""
+    from repro.experiments.faults_comparison import (
+        MODES, format_fault_comparison, run_fault_comparison,
+        scalars_json)
+    from repro.faults.model import FAULT_MODEL_ORDER
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="Inject deterministic fault models (link flaps, "
+                    "stragglers, memory-node loss) across all six "
+                    "designs in training, pipeline, serving, and "
+                    "cluster modes and report slowdown/availability.")
+    parser.add_argument(
+        "--fault-models", default=",".join(FAULT_MODEL_ORDER),
+        help="comma-separated fault models (default: all six)")
+    parser.add_argument(
+        "--modes", default=",".join(MODES),
+        help="comma-separated modes (default: all four)")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke run: training mode only, on AlexNet")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (default: 1)")
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table); json emits the study's "
+             "key scalars, sorted and byte-deterministic")
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="write output to this file instead of stdout")
+    from repro.telemetry.session import (TelemetrySession,
+                                         add_telemetry_argument)
+    add_telemetry_argument(parser)
+    args = parser.parse_args(argv)
+
+    models = [m.strip() for m in args.fault_models.split(",")
+              if m.strip()]
+    unknown = [m for m in models if m not in FAULT_MODEL_ORDER]
+    if unknown:
+        print(f"unknown fault model(s): {', '.join(unknown)}; known: "
+              f"{', '.join(FAULT_MODEL_ORDER)}", file=sys.stderr)
+        return 2
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    bad = [m for m in modes if m not in MODES]
+    if bad:
+        print(f"unknown mode(s): {', '.join(bad)}; known: "
+              f"{', '.join(MODES)}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.quick:
+        modes = ["training"]
+        kwargs["training_network"] = "AlexNet"
+
+    session = TelemetrySession(
+        tool="faults", argv=argv, enabled=args.telemetry,
+        output=args.output,
+        config={"fault_models": models, "modes": modes, **kwargs})
+    with session:
+        study = run_fault_comparison(models=tuple(models),
+                                     modes=tuple(modes),
+                                     jobs=args.jobs, **kwargs)
+    text = (scalars_json(study) if args.format == "json"
+            else format_fault_comparison(study))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig2": ("Figure 2: device generations vs PCIe overhead", _fig2),
     "fig9": ("Figure 9: ring collective latency", _fig9),
@@ -349,6 +422,7 @@ def main(argv: list[str] | None = None) -> int:
         print("       python -m repro serve [options]")
         print("       python -m repro cluster [options]")
         print("       python -m repro prefetch [options]")
+        print("       python -m repro faults [options]")
         print("       python -m repro bench [--quick] [--update]")
         print("       python -m repro trace <design> <network> [options]")
         print("experiments:")
@@ -362,6 +436,8 @@ def main(argv: list[str] | None = None) -> int:
               "queueing, pool utilization (--help for options)")
         print("  prefetch     prefetch policies x designs x modes: "
               "stall, waste, evictions (--help for options)")
+        print("  faults       fault models x designs x modes: "
+              "slowdown, availability, recovery (--help for options)")
         print("  bench        time the simulator, diff against the "
               "committed BENCH_*.json baselines (--help for options)")
         print("  trace        Chrome/Perfetto trace of one iteration "
@@ -382,6 +458,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args[0] == "prefetch":
         return _prefetch_main(args[1:])
+
+    if args[0] == "faults":
+        return _faults_main(args[1:])
 
     if args[0] == "bench":
         from repro.bench import main as bench_main

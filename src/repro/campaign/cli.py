@@ -24,13 +24,16 @@ import sys
 import time
 
 from repro.campaign.cache import ResultCache, default_cache_dir
-from repro.campaign.points import (cluster_grid, grid, pipeline_grid,
-                                   prefetch_grid, serving_grid)
+from repro.campaign.points import (cluster_grid, fault_grid, grid,
+                                   pipeline_grid, prefetch_grid,
+                                   serving_grid)
 from repro.campaign.runner import CampaignReport, CellOutcome, run_campaign
 from repro.core.design_points import DESIGN_ORDER
 from repro.dnn.registry import (BENCHMARK_NAMES, TRANSFORMER_NAMES,
                                 WORKLOAD_NAMES)
-from repro.telemetry.session import TelemetrySession, add_telemetry_argument
+from repro.faults.model import FAULT_MODEL_ORDER
+from repro.telemetry.session import (TelemetrySession,
+                                     add_telemetry_argument, eta_seconds)
 from repro.training.parallel import ParallelStrategy
 from repro.vmem.prefetch import PREFETCH_POLICY_ORDER
 
@@ -52,7 +55,11 @@ _CSV_FIELDS = (
     "latency_p99", "goodput", "slo_attainment", "jct_p50", "jct_p95",
     "queue_delay_mean", "pool_utilization", "preemptions",
     "prefetch_policy", "stall_seconds", "prefetch_hit_rate",
-    "wasted_prefetch_bytes", "prefetch_evictions", "cached",
+    "wasted_prefetch_bytes", "prefetch_evictions",
+    # Fault columns live between the prefetch block and "cached" so
+    # the first fifteen fields stay stable for downstream `cut`s.
+    "fault_model", "fault_events", "fault_retries", "shed_requests",
+    "timed_out_requests", "recovery_bytes", "availability", "cached",
 )
 
 
@@ -105,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated vmem prefetch policies ("
              + ", ".join(PREFETCH_POLICY_ORDER) + "); non-empty "
              "replicates every data/model training cell per policy")
+    parser.add_argument(
+        "--fault-models", default="",
+        help="comma-separated fault models ("
+             + ", ".join(FAULT_MODEL_ORDER) + "); non-empty "
+             "replicates every cell per model (include none for the "
+             "healthy baseline)")
     parser.add_argument(
         "--arrival-rates", default="",
         help="comma-separated request rates (req/s); non-empty adds "
@@ -248,6 +261,23 @@ def _rows(report: CampaignReport) -> list[dict]:
                                    else None),
             "prefetch": (result.prefetch.to_dict()
                          if result.prefetch is not None else None),
+            "fault_model": (result.faults.model
+                            if result.faults is not None else None),
+            "fault_events": (result.faults.injected_events
+                             if result.faults is not None else None),
+            "fault_retries": (result.faults.retries
+                              if result.faults is not None else None),
+            "shed_requests": (result.faults.shed_requests
+                              if result.faults is not None else None),
+            "timed_out_requests": (result.faults.timed_out_requests
+                                   if result.faults is not None
+                                   else None),
+            "recovery_bytes": (result.faults.recovery_bytes
+                               if result.faults is not None else None),
+            "availability": (result.faults.availability
+                             if result.faults is not None else None),
+            "faults": (result.faults.to_dict()
+                       if result.faults is not None else None),
             "cached": outcome.cached,
         })
     return rows
@@ -325,6 +355,7 @@ def main(argv: list[str] | None = None) -> int:
         args.batches = "256"
         args.strategies = "data"
         args.prefetch_policies = ""
+        args.fault_models = ""
         args.arrival_rates = ""
         args.policies = ""
 
@@ -353,6 +384,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown prefetch policy(ies): "
               f"{', '.join(bad_policies)}; known: "
               f"{', '.join(PREFETCH_POLICY_ORDER)}", file=sys.stderr)
+        return 2
+    fault_models = _split(args.fault_models)
+    bad_faults = [f for f in fault_models if f not in FAULT_MODEL_ORDER]
+    if bad_faults:
+        print(f"unknown fault model(s): {', '.join(bad_faults)}; "
+              f"known: {', '.join(FAULT_MODEL_ORDER)}",
+              file=sys.stderr)
         return 2
     try:
         batches = [int(b) for b in _split(args.batches)]
@@ -421,6 +459,8 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 pool_capacity=(int(args.pool_gb * GB)
                                if args.pool_gb is not None else None))
+        if fault_models:
+            points = fault_grid(points, fault_models)
     except (ValueError, KeyError) as exc:
         print(f"bad axis value: {exc}", file=sys.stderr)
         return 2
@@ -455,9 +495,9 @@ def main(argv: list[str] | None = None) -> int:
             # the cells still outstanding are all misses.
             hits = cache.hits if cache is not None else 0
             line += f" | cache {hits} hit" + ("" if hits == 1 else "s")
-            remaining = total - done
-            if sim_times and remaining:
-                eta = sum(sim_times) / len(sim_times) * remaining
+            eta = eta_seconds(sum(sim_times), len(sim_times),
+                              total - done)
+            if eta is not None:
                 line += f", ETA {eta:.1f}s"
         print(line, file=sys.stderr)
 

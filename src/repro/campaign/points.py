@@ -282,6 +282,38 @@ def prefetch_grid(designs, networks, policies, batches=(512,),
     return tuple(points)
 
 
+def fault_grid(points, fault_models) -> tuple[CampaignPoint, ...]:
+    """Replicate campaign points across fault models, model-major.
+
+    Works on *any* base points -- training, pipeline, serving, or
+    cluster cells -- because the fault model is a
+    :class:`~repro.core.system.SystemConfig` field and rides in
+    ``replacements``.  Every variant gets a ``name|model`` label (the
+    ``"none"`` leg included, so one campaign can carry the healthy
+    baseline next to each degraded twin), and a pre-existing
+    ``fault_model`` replacement on a base point is overridden rather
+    than duplicated.
+    """
+    from repro.faults.model import FAULT_MODEL_ORDER
+    models = tuple(fault_models)
+    unknown = [m for m in models if m not in FAULT_MODEL_ORDER]
+    if unknown:
+        raise ValueError(
+            f"unknown fault model(s): {', '.join(unknown)}; "
+            f"known: {', '.join(FAULT_MODEL_ORDER)}")
+    expanded = []
+    for model in models:
+        for point in points:
+            replacements = tuple(
+                (key, value) for key, value in point.replacements
+                if key != "fault_model")
+            replacements += (("fault_model", model),)
+            expanded.append(dataclasses.replace(
+                point, replacements=replacements,
+                label=f"{point.name}|{model}"))
+    return tuple(expanded)
+
+
 def canonicalize(value: Any) -> Any:
     """Reduce a value to JSON-stable primitives for cache keying.
 

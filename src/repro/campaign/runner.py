@@ -9,7 +9,11 @@ point, in input order.  Three properties the experiment layers rely on:
   values (asserted by ``tests/test_campaign.py``);
 * **isolation** — one failing cell is reported in its outcome instead
   of killing the sweep; callers that need all cells call
-  :meth:`CampaignReport.raise_failures`;
+  :meth:`CampaignReport.raise_failures`.  This extends to worker
+  *death*: when a pool worker exits hard (OOM kill, segfault), every
+  in-flight future fails with the same ``BrokenProcessPool``, so the
+  runner retries each survivor alone in a fresh single-worker pool and
+  only the cell that kills its private worker again is failed;
 * **memoization** — with a :class:`ResultCache`, finished cells are
   replayed from disk and only misses are simulated.
 """
@@ -19,6 +23,7 @@ from __future__ import annotations
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
@@ -210,6 +215,7 @@ def run_campaign(points: Iterable[CampaignPoint], *, jobs: int = 1,
     if jobs > 1 and len(misses) > 1:
         worker_telemetry = metrics_registry() is not None
         snapshots: dict[int, dict] = {}
+        broken: list[int] = []
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             pending = {pool.submit(_simulate_cell, points[i], factory,
                                    worker_telemetry): i
@@ -219,13 +225,39 @@ def run_campaign(points: Iterable[CampaignPoint], *, jobs: int = 1,
                 for future in finished:
                     index = pending.pop(future)
                     exc = future.exception()
-                    if exc is not None:
+                    if isinstance(exc, BrokenProcessPool):
+                        # A worker died; the executor fails *every*
+                        # in-flight future with this same exception,
+                        # so the guilty cell is unknown here.  Park
+                        # the survivors and retry each alone below.
+                        broken.append(index)
+                    elif exc is not None:
                         fail(index, exc)
                     else:
                         result, elapsed, snapshot = future.result()
                         if snapshot is not None:
                             snapshots[index] = snapshot
                         finish(index, result, elapsed)
+        # Recovery pass: each cell caught in a pool collapse re-runs
+        # in its own fresh single-worker pool, so an innocent cell
+        # still produces its result and only a cell that kills its
+        # *private* worker again is charged with the death.
+        for index in sorted(broken):
+            try:
+                with ProcessPoolExecutor(max_workers=1) as solo:
+                    result, elapsed, snapshot = solo.submit(
+                        _simulate_cell, points[index], factory,
+                        worker_telemetry).result()
+            except BrokenProcessPool:
+                fail(index, RuntimeError(
+                    f"worker process died while simulating cell "
+                    f"{points[index].name}/{points[index].network}"))
+            except Exception as exc:
+                fail(index, exc)
+            else:
+                if snapshot is not None:
+                    snapshots[index] = snapshot
+                finish(index, result, elapsed)
         registry = metrics_registry()
         if registry is not None:
             # Merge in input order: counter sums are then the same

@@ -24,6 +24,7 @@ byte-identical :class:`~repro.core.metrics.ClusterStats` JSON.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -33,9 +34,11 @@ from repro.cluster.policies import (QueueEntry, Release, fits,
                                     select_next)
 from repro.cluster.pool import MemoryPool, spill_dilation, spill_penalty
 from repro.core.metrics import (ClusterStats, ExecutionMode,
-                                LatencyBreakdown, SimulationResult,
-                                percentile)
+                                FaultStats, LatencyBreakdown,
+                                SimulationResult, percentile)
 from repro.core.system import SystemConfig
+from repro.faults.lowering import (active_fault_model, degraded_config,
+                                   healthy_config, record_fault_stats)
 from repro.interconnect.link import PCIE_GEN3
 from repro.training.parallel import ParallelStrategy
 from repro.units import GB
@@ -57,6 +60,9 @@ class _Pending:
     enqueued_at: float
     remaining: float
     preempted: int = 0
+    #: Retry backoff after a fault-induced eviction: the policy layer
+    #: skips this entry until the clock reaches it.
+    eligible_at: float = 0.0
 
 
 @dataclass
@@ -80,6 +86,11 @@ class _Ledger:
     checkpoint_bytes: int = 0
     preemptions: int = 0
     peak_reserved: int = 0
+    #: Fault-injection accounting (all zero on healthy runs).
+    fault_retries: int = 0
+    fault_recovery_bytes: int = 0
+    degraded_seconds: float = 0.0
+    fault_events: int = 0
     finished: list = field(default_factory=list)  # (spec, first, end)
     first_dispatch: dict = field(default_factory=dict)
     #: Per-job lifecycle events, in occurrence order:
@@ -100,6 +111,11 @@ def estimated_wall_seconds(remaining: float, profile: JobProfile,
     backfill candidate cannot sneak past the head gang's reservation
     by quoting its undilated runtime.
     """
+    # Repeated preemption/restart accounting can leave float dust a
+    # hair below zero in ``remaining``; clamp so duration-aware
+    # policies (SJF ordering, backfill windows) never see a negative
+    # estimate.
+    remaining = max(0.0, remaining)
     projected = pool.reserved + profile.pool_bytes
     if projected <= 0:
         return remaining
@@ -138,8 +154,16 @@ class ClusterSimulator:
         self.pool = MemoryPool(pool_capacity,
                                oversubscription=oversubscription)
         self.preempt_after = preempt_after
-        self.oracle = CostOracle(config)
-        self._penalty = spill_penalty(config)
+        # Fault injection: price jobs under the *standing* degradation
+        # (derated links, stragglers); timed flap windows and the pool
+        # failure are applied on the event-loop timeline so the same
+        # fault is never billed twice.
+        self._fault = active_fault_model(config)
+        base = (degraded_config(config, include_flaps=False)
+                if self._fault is not None else config)
+        self._base = base
+        self.oracle = CostOracle(base)
+        self._penalty = spill_penalty(base)
 
     # -- Pricing --------------------------------------------------------------
 
@@ -174,11 +198,26 @@ class ClusterSimulator:
         free_devices = self.fleet_devices
         ledger = _Ledger()
 
+        fault = self._fault
+        flaps = fault is not None and fault.flaps
+        loss_pending = fault is not None and fault.node_loss_fraction > 0
+        loss_time = fault.node_loss_time if loss_pending else 0.0
+        pool_lost = False
+
         def refresh_dilation() -> None:
             overflow = self.pool.overflow_fraction
+            in_flap = flaps and fault.in_flap(t)
             for job in running:
-                job.dilation = spill_dilation(job.profile, overflow,
-                                              self._penalty)
+                dil = spill_dilation(job.profile, overflow,
+                                     self._penalty)
+                if in_flap:
+                    # Only the job's exposed migration share rides the
+                    # flapping links; compute is unaffected.
+                    dil *= 1.0 + (job.profile.vmem_share
+                                  * job.profile.exposure
+                                  * (1.0 / fault.link_degradation
+                                     - 1.0))
+                job.dilation = dil
 
         def advance(until: float) -> None:
             nonlocal t
@@ -195,8 +234,15 @@ class ClusterSimulator:
             if pending:
                 ledger.frag_seconds += \
                     (free_devices / self.fleet_devices) * dt
+            if pool_lost or (flaps
+                             and fault.in_flap(0.5 * (t + until))):
+                ledger.degraded_seconds += dt
             for job in running:
-                job.remaining -= dt / job.dilation
+                # Clamp: preemption overheads and float dust must not
+                # drive remaining work negative (it skews
+                # estimated_wall_seconds and SJF ordering).
+                job.remaining = max(0.0,
+                                    job.remaining - dt / job.dilation)
             t = until
 
         def start(entry: _Pending) -> None:
@@ -225,21 +271,34 @@ class ClusterSimulator:
             ledger.events.append(("finish", spec.jid, t))
             refresh_dilation()
 
-        def preempt(job: _Running) -> None:
+        def preempt(job: _Running, fault_evict: bool = False) -> None:
             nonlocal free_devices
             running.remove(job)
             free_devices += job.profile.devices
             self.pool.release(job.profile.pool_bytes)
-            overhead = 2 * _checkpoint_time(self.config,
+            overhead = 2 * _checkpoint_time(self._base,
                                             job.profile.state_bytes)
             ledger.checkpoint_seconds += overhead
             ledger.checkpoint_bytes += 2 * job.profile.state_bytes
             ledger.preemptions += 1
             ledger.events.append(("preempt", job.profile.spec.jid, t))
+            eligible_at = t
+            if fault_evict:
+                # Restore-and-retry with exponential backoff: the
+                # checkpoint/restore traffic is billed through the
+                # ordinary preemption ledger, and the retry waits out
+                # the backoff before the policy may replace it.
+                ledger.fault_retries += 1
+                ledger.fault_recovery_bytes += \
+                    2 * job.profile.state_bytes
+                if fault.retry_backoff > 0:
+                    eligible_at = t + fault.retry_backoff \
+                        * (2.0 ** min(job.preempted, 6))
             pending.append(_Pending(profile=job.profile,
                                     enqueued_at=t,
                                     remaining=job.remaining + overhead,
-                                    preempted=job.preempted + 1))
+                                    preempted=job.preempted + 1,
+                                    eligible_at=eligible_at))
             refresh_dilation()
 
         def try_preempt_for(entry: _Pending) -> bool:
@@ -270,11 +329,15 @@ class ClusterSimulator:
 
         def policy_pass() -> None:
             while True:
+                # Entries backing off after a fault eviction are
+                # invisible to the policy until their retry is due.
+                eligible = [(i, p) for i, p in enumerate(pending)
+                            if p.eligible_at <= t + _EPS]
                 queue = [QueueEntry(p.profile,
                                     estimated_wall_seconds(
                                         p.remaining, p.profile,
                                         self.pool, self._penalty))
-                         for p in pending]
+                         for _, p in eligible]
                 releases = tuple(
                     Release(time=j.remaining * j.dilation,
                             devices=j.profile.devices,
@@ -284,7 +347,7 @@ class ClusterSimulator:
                                      self.pool, releases)
                 if choice is None:
                     return
-                start(pending.pop(choice))
+                start(pending.pop(eligible[choice][0]))
 
         def schedule() -> None:
             """Alternate policy and preemption passes until stable."""
@@ -294,6 +357,8 @@ class ClusterSimulator:
                     return
                 progressed = False
                 for entry in list(pending):
+                    if entry.eligible_at > t + _EPS:
+                        continue  # still backing off its retry
                     overdue = (t - entry.enqueued_at
                                >= self.preempt_after - _EPS)
                     if not overdue:
@@ -322,11 +387,23 @@ class ClusterSimulator:
                           for p in pending)
                 if due > t:
                     horizons.append(due)
+            if flaps:
+                # Flap boundaries are events: dilations and the
+                # degraded-time integral are piecewise-constant only
+                # between them.
+                horizons.append(fault.next_flap_boundary(t))
+            if loss_pending:
+                horizons.append(max(t, loss_time))
+            backoffs = [p.eligible_at for p in pending
+                        if p.eligible_at > t + _EPS]
+            if backoffs:
+                horizons.append(min(backoffs))
             if not horizons:
                 raise AssertionError(
                     "deadlock: queued jobs but nothing running or "
                     "arriving")
             advance(max(t, min(horizons)))
+            refresh_dilation()
 
             for job in [j for j in running
                         if j.remaining <= _EPS * (1.0 + j.profile.service)]:
@@ -340,6 +417,28 @@ class ClusterSimulator:
                                         enqueued_at=spec.arrival,
                                         remaining=profiles[index].service))
                 index += 1
+            if loss_pending and t >= loss_time - _EPS:
+                # The pool node dies: capacity shrinks (floored so the
+                # largest single job can still run -- the fleet would
+                # otherwise wedge forever), and the newest jobs are
+                # force-evicted until the survivors' reservations fit.
+                loss_pending = False
+                pool_lost = True
+                floor_bytes = max(p.pool_bytes for p in profiles)
+                floor_cap = math.ceil(
+                    floor_bytes / self.pool.oversubscription)
+                self.pool.capacity = max(
+                    int(self.pool.capacity
+                        * (1.0 - fault.node_loss_fraction)),
+                    floor_cap)
+                ledger.events.append(("fault", -1, t))
+                ledger.fault_events += 1
+                while self.pool.reserved > self.pool.limit and running:
+                    victim = max(running,
+                                 key=lambda j: (j.started,
+                                                j.profile.spec.jid))
+                    preempt(victim, fault_evict=True)
+                refresh_dilation()
             schedule()
 
         return ledger, t
@@ -441,6 +540,40 @@ def simulate_cluster(config: SystemConfig, *, policy: str = "fifo",
                        fleet_devices=sim.fleet_devices, pool=sim.pool)
     _record_cluster(stats, ledger)
 
+    faults = None
+    if sim._fault is not None:
+        fault = sim._fault
+        # The healthy twin replays the identical job stream with the
+        # fault model stripped; its makespan anchors slowdown and
+        # availability (delivered over nominal fleet capacity).
+        healthy = ClusterSimulator(
+            healthy_config(config), policy=policy,
+            fleet_devices=fleet_devices, pool_capacity=pool_capacity,
+            oversubscription=oversubscription,
+            preempt_after=preempt_after)
+        with span("faults", model=fault.name, mode="cluster"):
+            _, healthy_makespan = healthy.run(jobs)
+        injected = fault.flap_count_until(makespan) \
+            + ledger.fault_events
+        if fault.compute_multiplier > 1.0:
+            injected += fault.straggler_devices
+        standing = (fault.standing_multiplier < 1.0
+                    or fault.compute_multiplier > 1.0)
+        faults = FaultStats(
+            model=fault.name,
+            injected_events=injected,
+            degraded_seconds=(makespan if standing
+                              else min(makespan,
+                                       ledger.degraded_seconds)),
+            slowdown=makespan / healthy_makespan,
+            retries=ledger.fault_retries,
+            shed_requests=0,
+            timed_out_requests=0,
+            recovery_bytes=ledger.fault_recovery_bytes,
+            availability=min(1.0, healthy_makespan / makespan),
+        )
+        record_fault_stats(faults, "cluster")
+
     return SimulationResult(
         system=config.name,
         network=f"mix:{mix_label}",
@@ -459,4 +592,5 @@ def simulate_cluster(config: SystemConfig, *, policy: str = "fifo",
         fits_in_device_memory=ledger.peak_reserved == 0,
         mode=ExecutionMode.CLUSTER,
         cluster=stats,
+        faults=faults,
     )

@@ -239,6 +239,72 @@ class PrefetchStats:
 
 
 @dataclass(frozen=True)
+class FaultStats:
+    """What a fault model injected into one run, and what it cost.
+
+    Produced only when a non-null :class:`repro.faults.model.FaultModel`
+    is active; healthy results carry ``faults=None`` so disabled fault
+    injection is byte-invisible.  ``slowdown`` compares the faulted run
+    against its healthy twin (same design, same workload, fault model
+    stripped); ``availability`` is the fraction of nominal capacity the
+    degraded system delivered (1.0 = unharmed).
+    """
+
+    model: str
+    #: Flap onsets within the run horizon plus standing faults
+    #: (each straggler once, the pool-node loss once).
+    injected_events: int
+    #: Wall-clock seconds the run spent under active degradation.
+    degraded_seconds: float
+    #: Faulted time over healthy-twin time (makespan for cluster runs,
+    #: representative batch latency for serving).
+    slowdown: float
+    #: Fault-induced evictions retried with backoff (cluster mode).
+    retries: int
+    #: Requests dropped by SLO-aware load shedding (serving mode).
+    shed_requests: int
+    #: Completions past the request timeout (serving mode).
+    timed_out_requests: int
+    #: Checkpoint + restore bytes billed to fault recovery.
+    recovery_bytes: int
+    #: Delivered over nominal capacity, in [0, 1].
+    availability: float
+
+    def __post_init__(self) -> None:
+        if not self.model or self.model == "none":
+            raise ValueError("fault stats need a non-null model name")
+        if min(self.injected_events, self.retries, self.shed_requests,
+               self.timed_out_requests, self.recovery_bytes) < 0:
+            raise ValueError("fault counts must be non-negative")
+        if self.degraded_seconds < 0:
+            raise ValueError("degraded_seconds must be non-negative")
+        if self.slowdown <= 0:
+            raise ValueError("slowdown must be positive")
+        if not 0.0 <= self.availability <= 1.0 + 1e-9:
+            raise ValueError("availability must lie in [0, 1]")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "model": self.model,
+            "injected_events": self.injected_events,
+            "degraded_seconds": self.degraded_seconds,
+            "slowdown": self.slowdown,
+            "retries": self.retries,
+            "shed_requests": self.shed_requests,
+            "timed_out_requests": self.timed_out_requests,
+            "recovery_bytes": self.recovery_bytes,
+            "availability": self.availability,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultStats":
+        return cls(**{field: data[field] for field in (
+            "model", "injected_events", "degraded_seconds", "slowdown",
+            "retries", "shed_requests", "timed_out_requests",
+            "recovery_bytes", "availability")})
+
+
+@dataclass(frozen=True)
 class ServingStats:
     """Request-level outcome of one inference-serving simulation.
 
@@ -279,10 +345,18 @@ class ServingStats:
     utilization: float
 
     def __post_init__(self) -> None:
-        if self.n_requests <= 0:
-            raise ValueError("stats need at least one request")
+        if self.n_requests < 0:
+            raise ValueError("request count must be non-negative")
         if self.n_servers <= 0:
             raise ValueError("need at least one server")
+        if self.n_requests == 0:
+            # A trace that completed nothing (zero offered load, or
+            # every request shed under fault injection) folds to a
+            # well-defined all-zero record.
+            if self.duration != 0.0 or self.throughput != 0.0 \
+                    or self.latency_max != 0.0:
+                raise ValueError("empty-trace stats must be zeroed")
+            return
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if not 0.0 <= self.slo_attainment <= 1.0:
@@ -473,6 +547,10 @@ class SimulationResult:
     #: simulation).  ``None`` only for the fleet-level cluster
     #: simulation, whose payload aggregates many jobs' timelines.
     prefetch: PrefetchStats | None = None
+    #: Fault-injection accounting (:mod:`repro.faults`); ``None``
+    #: whenever the fault model is ``"none"`` or inert, so healthy
+    #: results are byte-identical with the fault engine absent.
+    faults: FaultStats | None = None
 
     def __post_init__(self) -> None:
         if self.iteration_time <= 0:
@@ -524,6 +602,8 @@ class SimulationResult:
                         if self.cluster is not None else None),
             "prefetch": (self.prefetch.to_dict()
                          if self.prefetch is not None else None),
+            "faults": (self.faults.to_dict()
+                       if self.faults is not None else None),
         }
 
     @classmethod
@@ -533,6 +613,7 @@ class SimulationResult:
         serving = data.get("serving")
         cluster = data.get("cluster")
         prefetch = data.get("prefetch")
+        faults = data.get("faults")
         return cls(
             system=data["system"],
             network=data["network"],
@@ -555,4 +636,6 @@ class SimulationResult:
                      if cluster is not None else None),
             prefetch=(PrefetchStats.from_dict(prefetch)
                       if prefetch is not None else None),
+            faults=(FaultStats.from_dict(faults)
+                    if faults is not None else None),
         )

@@ -20,6 +20,9 @@ from repro.core.system import SystemConfig
 from repro.core.timeline import EngineKind
 from repro.dnn.graph import Network
 from repro.dnn.registry import build_network
+from repro.faults.lowering import (active_fault_model, degraded_config,
+                                   healthy_config, iteration_fault_stats,
+                                   record_fault_stats)
 from repro.host.cpu import CpuBandwidthUsage, socket_usage
 from repro.telemetry.spans import span
 from repro.training.parallel import ParallelStrategy
@@ -65,6 +68,10 @@ def simulate(config: SystemConfig, network: Network | str,
         scalar reference core; see ``docs/performance.md``).
     """
     net = _resolve(network)
+    fault = active_fault_model(config)
+    if fault is not None:
+        return _simulate_faulted(fault, config, net, batch, strategy,
+                                 mode)
     if mode is ExecutionMode.INFERENCE:
         return _simulate_inference(config, net, batch, strategy)
     if mode is not ExecutionMode.TRAINING:
@@ -111,6 +118,31 @@ def simulate(config: SystemConfig, network: Network | str,
         prefetch=collect_prefetch_stats(timeline, psched.policy,
                                         evictions=psched.evictions),
     )
+
+
+def _simulate_faulted(fault, config: SystemConfig, net: Network,
+                      batch: int, strategy: ParallelStrategy,
+                      mode: ExecutionMode) -> SimulationResult:
+    """Iteration-level fault path: re-price under degradation, fold
+    against the healthy twin.
+
+    Both legs are plain :func:`simulate` calls on ``fault_model="none"``
+    configs, so the degraded numbers come out of the same byte-stable
+    pipeline as any user-built design -- faults only move inputs.
+    """
+    import dataclasses
+
+    with span("faults", model=fault.name, mode=mode.value):
+        degraded = simulate(degraded_config(config), net, batch,
+                            strategy, mode)
+        healthy = simulate(healthy_config(config), net, batch,
+                           strategy, mode)
+    stats = iteration_fault_stats(
+        fault, faulted_time=degraded.iteration_time,
+        healthy_time=healthy.iteration_time)
+    record_fault_stats(stats, mode.value)
+    return dataclasses.replace(degraded, system=config.name,
+                               faults=stats)
 
 
 def _simulate_inference(config: SystemConfig, net: Network, batch: int,

@@ -179,11 +179,17 @@ class SystemConfig:
     #: Stash capacity (outstanding prefetched-but-unconsumed tensors)
     #: bounding the speculative policies; exceeding it forces eviction.
     prefetch_stash: int = 8
+    #: Named fault scenario (a plain string for the same
+    #: campaign-replacement reason; resolved by
+    #: :func:`repro.faults.model.fault_model`).  ``"none"`` is inert:
+    #: results are byte-identical to a build without the fault engine.
+    fault_model: str = "none"
 
     def __post_init__(self) -> None:
         # Imported here: repro.vmem.prefetch is a leaf of the core
         # layer and importing it at module scope would be circular for
         # readers of repro.core.system's public names.
+        from repro.faults.model import FAULT_MODEL_ORDER
         from repro.vmem.prefetch import PREFETCH_POLICY_ORDER
         if self.n_devices <= 0:
             raise ValueError("need at least one device")
@@ -201,6 +207,10 @@ class SystemConfig:
                 f"known: {', '.join(PREFETCH_POLICY_ORDER)}")
         if self.prefetch_stash < 1:
             raise ValueError("prefetch_stash must be >= 1")
+        if self.fault_model not in FAULT_MODEL_ORDER:
+            raise ValueError(
+                f"unknown fault model {self.fault_model!r}; "
+                f"known: {', '.join(FAULT_MODEL_ORDER)}")
 
     @property
     def virtualizes(self) -> bool:

@@ -197,16 +197,25 @@ def cluster_chrome_trace(events, pid: int = 1) -> str:
     row (``tid = jid``) of lifecycle slices: ``queued`` from arrival
     (or preemption) until dispatch, ``running`` from dispatch until
     preemption or completion, ``preempted`` marking the
-    checkpoint-and-requeue interval.  Times are simulated seconds,
-    exported as microseconds.
+    checkpoint-and-requeue interval.  Fleet-wide ``fault`` events
+    (``jid = -1``, e.g. a pool-node loss) render as global instants.
+    Times are simulated seconds, exported as microseconds.
     """
     per_job: dict[int, list[tuple[str, float]]] = {}
+    fault_instants: list[float] = []
     for kind, jid, when in events:
+        if kind == "fault":
+            fault_instants.append(when)
+            continue
         per_job.setdefault(jid, []).append((kind, when))
 
     trace_events: list[dict] = [
         {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
          "args": {"name": "cluster jobs"}}]
+    for when in fault_instants:
+        trace_events.append({
+            "name": "fault", "cat": "fault", "ph": "i", "s": "p",
+            "pid": pid, "tid": 0, "ts": when * 1e6, "args": {}})
     for jid in sorted(per_job):
         trace_events.append({
             "name": "thread_name", "ph": "M", "pid": pid, "tid": jid,

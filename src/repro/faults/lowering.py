@@ -1,0 +1,156 @@
+"""Lowering a :class:`~repro.faults.model.FaultModel` onto a design.
+
+Faults never add new pricing math: they *re-price* the existing
+models.  Link flaps and deratings scale the collective ring channels
+and the virtualization channel; memory-node loss shrinks the effective
+backing-store bandwidth (survivors carry the displaced traffic);
+stragglers slow the PE-array clock, which gates every synchronizing
+gang.  :func:`degraded_config` returns an ordinary
+:class:`~repro.core.system.SystemConfig` with ``fault_model`` reset to
+``"none"``, so the degraded run goes through the exact byte-stable
+pipeline a healthy run does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.metrics import FaultStats
+from repro.core.system import SystemConfig
+from repro.faults.model import FAULT_MODELS, FaultModel, fault_model
+
+
+def active_fault_model(config: SystemConfig) -> FaultModel | None:
+    """The config's fault model, or ``None`` when it is inert.
+
+    The null check is one dict lookup plus a handful of float
+    comparisons, so the healthy fast path stays hot.
+    """
+    if config.fault_model == "none":
+        return None
+    model = fault_model(config.fault_model)
+    return None if model.is_null else model
+
+
+def healthy_config(config: SystemConfig) -> SystemConfig:
+    """The same design with faults switched off (the reference twin)."""
+    if config.fault_model == "none":
+        return config
+    return dataclasses.replace(config, fault_model="none")
+
+
+def degraded_config(config: SystemConfig,
+                    include_flaps: bool = True) -> SystemConfig:
+    """Re-price a design under its fault model's standing degradation.
+
+    ``include_flaps=True`` (iteration-level runs) blends timed flaps
+    into a duty-cycle bandwidth derating; the cluster scheduler passes
+    ``False`` and applies flap windows explicitly on its timeline so
+    the same flap is never billed twice.  The returned config carries
+    ``fault_model="none"`` -- lowering is a one-way door.
+    """
+    model = active_fault_model(config)
+    if model is None:
+        return healthy_config(config)
+
+    bw_mult = (model.bandwidth_multiplier if include_flaps
+               else model.standing_multiplier)
+
+    collectives = config.collectives
+    if bw_mult < 1.0:
+        channels = tuple(
+            dataclasses.replace(ch, bandwidth=ch.bandwidth * bw_mult)
+            for ch in collectives.channels)
+        collectives = dataclasses.replace(collectives,
+                                          channels=channels)
+
+    # Memory-node loss only degrades designs whose backing store *is*
+    # the pool; host-backed designs (DC/HC) ride through it.
+    vmem_mult = bw_mult
+    if model.node_loss_fraction > 0 and config.memory_node is not None:
+        vmem_mult *= 1.0 - model.node_loss_fraction
+
+    vmem = config.vmem
+    if vmem_mult < 1.0 and vmem.enabled:
+        channel = dataclasses.replace(
+            vmem.channel,
+            peak_bw=vmem.channel.peak_bw * vmem_mult,
+            concurrent_bw=vmem.channel.concurrent_bw * vmem_mult)
+        vmem = dataclasses.replace(vmem, channel=channel)
+
+    device = config.device
+    if model.compute_multiplier > 1.0:
+        pe = device.pe_array
+        pe = dataclasses.replace(
+            pe, frequency=pe.frequency / model.compute_multiplier)
+        device = dataclasses.replace(device, pe_array=pe)
+
+    return dataclasses.replace(
+        config, device=device, collectives=collectives, vmem=vmem,
+        fault_model="none")
+
+
+def iteration_fault_stats(model: FaultModel, *, faulted_time: float,
+                          healthy_time: float) -> FaultStats:
+    """Fold one degraded iteration against its healthy twin.
+
+    ``degraded_seconds`` is the iteration time spent under degradation:
+    the whole iteration for standing faults, the flap duty-cycle share
+    otherwise.  ``availability`` is the healthy/faulted throughput
+    ratio -- the fraction of nominal capacity the faulted system
+    delivers.
+    """
+    standing = (model.standing_multiplier < 1.0
+                or model.compute_multiplier > 1.0
+                or model.node_loss_fraction > 0)
+    fraction = 1.0 if standing else model.flap_duty
+    slowdown = faulted_time / healthy_time if healthy_time > 0 else 1.0
+    return FaultStats(
+        model=model.name,
+        injected_events=(model.flap_count_until(faulted_time)
+                         + model.standing_events()),
+        degraded_seconds=fraction * faulted_time,
+        slowdown=slowdown,
+        retries=0,
+        shed_requests=0,
+        timed_out_requests=0,
+        recovery_bytes=0,
+        availability=min(1.0, 1.0 / slowdown if slowdown > 0 else 1.0),
+    )
+
+
+def record_fault_stats(stats: FaultStats, mode: str) -> None:
+    """Telemetry probe: fold one run's fault accounting into the
+    process-wide registry (no-op when telemetry is off)."""
+    from repro.telemetry.registry import metrics_registry
+    registry = metrics_registry()
+    if registry is None:
+        return
+    labels = {"model": stats.model, "mode": mode}
+    registry.counter(
+        "repro_faults_injected_total",
+        "fault events injected (flap onsets, stragglers, node losses)",
+        **labels).inc(stats.injected_events)
+    registry.counter(
+        "repro_faults_retries_total",
+        "fault-induced evictions retried with backoff",
+        **labels).inc(stats.retries)
+    registry.counter(
+        "repro_faults_shed_requests_total",
+        "requests shed by SLO-aware load shedding",
+        **labels).inc(stats.shed_requests)
+    registry.counter(
+        "repro_faults_timed_out_requests_total",
+        "completions past the request timeout",
+        **labels).inc(stats.timed_out_requests)
+    registry.counter(
+        "repro_faults_recovery_bytes_total",
+        "checkpoint/restore bytes billed to fault recovery",
+        **labels).inc(stats.recovery_bytes)
+
+
+__all__ = [
+    "FAULT_MODELS", "FaultModel", "active_fault_model",
+    "degraded_config", "fault_model", "healthy_config",
+    "iteration_fault_stats", "record_fault_stats",
+]

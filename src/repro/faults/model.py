@@ -1,0 +1,270 @@
+"""Seeded, deterministic fault models for the simulated system.
+
+A :class:`FaultModel` describes *what goes wrong* -- timed link
+degradation (flaps), standing link degradation, straggler devices,
+loss of a fraction of the disaggregated memory pool -- plus the
+*recovery* knobs the engines use to degrade gracefully: SLO-aware load
+shedding and request timeouts in serving, and checkpoint/restore retry
+backoff in the cluster scheduler.
+
+The module is a leaf: it imports nothing from the core layer, so
+:class:`repro.core.system.SystemConfig` can validate its
+``fault_model`` knob against :data:`FAULT_MODEL_ORDER` without a
+cycle.  All timing is derived from integer arithmetic seeded by
+``seed``, so fault schedules are bit-identical across runs and
+platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _unit_hash(seed: int, k: int) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) for window ``k``.
+
+    A 64-bit splitmix-style integer mix -- no ``random`` module, no
+    transcendental floats -- so flap schedules are reproducible across
+    platforms and Python versions.
+    """
+    x = (seed * 0x9E3779B97F4A7C15 + k * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """One named fault scenario, lowered by :mod:`repro.faults.lowering`.
+
+    Every knob defaults to its inert value, so ``FaultModel()`` is the
+    null model: lowering it is the identity and the engines take their
+    unmodified fast paths.
+    """
+
+    name: str = "none"
+    #: Seed of the flap-window jitter (independent of workload seeds).
+    seed: int = 0
+    #: Seconds between link-flap onsets; 0 disables flaps.
+    flap_period: float = 0.0
+    #: Seconds each flap lasts; must leave windows disjoint
+    #: (``flap_duration <= 0.75 * flap_period``).
+    flap_duration: float = 0.0
+    #: Link bandwidth multiplier while a flap is active, in (0, 1];
+    #: 1.0 means flaps carry no degradation.
+    link_degradation: float = 1.0
+    #: Standing link bandwidth multiplier in (0, 1], applied for the
+    #: whole run (a failed lane, a downtrained link); 1.0 = healthy.
+    link_derating: float = 1.0
+    #: Devices running slow (thermal throttling, a failing HBM stack).
+    #: Weak-scaling data parallelism synchronizes every iteration, so
+    #: one straggler gates the whole gang.
+    straggler_devices: int = 0
+    #: Compute slowdown factor of a straggler (>= 1).
+    straggler_slowdown: float = 1.0
+    #: Fraction of the memory pool lost to a node failure, in [0, 1).
+    node_loss_fraction: float = 0.0
+    #: When the pool node dies (cluster-mode seconds; iteration-level
+    #: runs treat any loss as standing).
+    node_loss_time: float = 0.0
+    #: Serving sheds a request whose projected queueing delay exceeds
+    #: this multiple of the SLO; 0 disables shedding.
+    shed_slo_mult: float = 0.0
+    #: Serving counts a completion as timed out past this multiple of
+    #: the SLO; 0 disables timeouts.
+    timeout_slo_mult: float = 0.0
+    #: Cluster retry backoff after a fault-induced eviction (seconds,
+    #: doubled per prior preemption of the job); 0 retries immediately.
+    retry_backoff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flap_period < 0 or self.flap_duration < 0:
+            raise ValueError("flap timing must be non-negative")
+        if self.flap_duration > 0 and self.flap_period <= 0:
+            raise ValueError("flap_duration needs a flap_period")
+        if self.flap_period > 0 and \
+                self.flap_duration > 0.75 * self.flap_period:
+            raise ValueError("flap windows must stay disjoint "
+                             "(flap_duration <= 0.75 * flap_period)")
+        if not 0.0 < self.link_degradation <= 1.0:
+            raise ValueError("link_degradation must lie in (0, 1]")
+        if not 0.0 < self.link_derating <= 1.0:
+            raise ValueError("link_derating must lie in (0, 1]")
+        if self.straggler_devices < 0:
+            raise ValueError("straggler_devices must be >= 0")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        if not 0.0 <= self.node_loss_fraction < 1.0:
+            raise ValueError("node_loss_fraction must lie in [0, 1)")
+        if self.node_loss_time < 0:
+            raise ValueError("node_loss_time must be non-negative")
+        if min(self.shed_slo_mult, self.timeout_slo_mult,
+               self.retry_backoff) < 0:
+            raise ValueError("recovery knobs must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived severity
+    # ------------------------------------------------------------------
+    @property
+    def flaps(self) -> bool:
+        """Whether timed flaps carry any degradation at all."""
+        return (self.flap_period > 0 and self.flap_duration > 0
+                and self.link_degradation < 1.0)
+
+    @property
+    def flap_duty(self) -> float:
+        """Fraction of wall time spent inside a flap window."""
+        if not self.flaps:
+            return 0.0
+        return self.flap_duration / self.flap_period
+
+    @property
+    def bandwidth_multiplier(self) -> float:
+        """Steady-state link bandwidth multiplier (duty-cycle blended).
+
+        Iteration-level runs model flaps as this time-averaged
+        derating on top of any standing ``link_derating``; the cluster
+        scheduler applies the raw ``link_degradation`` inside explicit
+        flap windows instead (see :meth:`standing_multiplier`).
+        """
+        return self.link_derating * (
+            1.0 - self.flap_duty * (1.0 - self.link_degradation))
+
+    @property
+    def standing_multiplier(self) -> float:
+        """Link bandwidth multiplier outside flap windows."""
+        return self.link_derating
+
+    @property
+    def compute_multiplier(self) -> float:
+        """Gang compute slowdown injected by stragglers (>= 1)."""
+        return (self.straggler_slowdown
+                if self.straggler_devices > 0 else 1.0)
+
+    @property
+    def is_null(self) -> bool:
+        """True when lowering this model is provably the identity."""
+        return (not self.flaps
+                and self.link_derating == 1.0
+                and self.compute_multiplier == 1.0
+                and self.node_loss_fraction == 0.0
+                and self.shed_slo_mult == 0.0
+                and self.timeout_slo_mult == 0.0)
+
+    # ------------------------------------------------------------------
+    # Timed flap windows (cluster mode)
+    # ------------------------------------------------------------------
+    def flap_window(self, k: int) -> tuple[float, float]:
+        """The ``k``-th flap window (1-based) as ``(start, end)``.
+
+        Onsets land at ``k * flap_period`` plus a seeded jitter of at
+        most a quarter period, which together with the disjointness
+        validation keeps consecutive windows non-overlapping.
+        """
+        if not self.flaps:
+            raise ValueError("model has no flap windows")
+        if k < 1:
+            raise ValueError("flap windows are 1-based")
+        onset = self.flap_period * (k + 0.25 * _unit_hash(self.seed, k))
+        return onset, onset + self.flap_duration
+
+    def in_flap(self, t: float) -> bool:
+        """Whether ``t`` falls inside a flap window [start, end)."""
+        if not self.flaps or t < self.flap_period:
+            return False
+        k = max(1, int(t / self.flap_period) - 1)
+        for i in (k, k + 1, k + 2):
+            start, end = self.flap_window(i)
+            if start <= t < end:
+                return True
+            if start > t:
+                break
+        return False
+
+    def next_flap_boundary(self, t: float) -> float:
+        """The first window start/end strictly after ``t``."""
+        if not self.flaps:
+            raise ValueError("model has no flap windows")
+        k = max(1, int(t / self.flap_period) - 1)
+        while True:
+            start, end = self.flap_window(k)
+            if start > t:
+                return start
+            if end > t:
+                return end
+            k += 1
+
+    def flap_count_until(self, horizon: float) -> int:
+        """Flap onsets strictly before ``horizon`` (injected events)."""
+        if not self.flaps or horizon <= 0:
+            return 0
+        count = 0
+        k = 1
+        while True:
+            start, _ = self.flap_window(k)
+            if start >= horizon:
+                return count
+            count += 1
+            k += 1
+
+    def standing_events(self) -> int:
+        """Injected events that are not timed: stragglers and the
+        (at most one) pool-node loss."""
+        events = self.straggler_devices if self.compute_multiplier > 1 \
+            else 0
+        if self.node_loss_fraction > 0:
+            events += 1
+        return events
+
+
+#: Named fault scenarios, from benign to severe.  ``none`` is the
+#: default on every :class:`~repro.core.system.SystemConfig` and is
+#: provably inert.
+FAULT_MODELS: dict[str, FaultModel] = {
+    "none": FaultModel(),
+    # A link that drops to quarter bandwidth 3 s out of every 30 s.
+    "flaky-link": FaultModel(
+        name="flaky-link", flap_period=30.0, flap_duration=3.0,
+        link_degradation=0.25, shed_slo_mult=6.0,
+        timeout_slo_mult=12.0, retry_backoff=2.0),
+    # A permanently half-bandwidth link (failed lane / downtrained).
+    "degraded-link": FaultModel(
+        name="degraded-link", link_derating=0.5, shed_slo_mult=6.0,
+        timeout_slo_mult=12.0, retry_backoff=2.0),
+    # One thermally-throttled device gates every synchronization.
+    "straggler": FaultModel(
+        name="straggler", straggler_devices=1,
+        straggler_slowdown=1.5, shed_slo_mult=6.0,
+        timeout_slo_mult=12.0, retry_backoff=2.0),
+    # A quarter of the memory pool dies two minutes in.
+    "node-loss": FaultModel(
+        name="node-loss", node_loss_fraction=0.25,
+        node_loss_time=120.0, shed_slo_mult=6.0,
+        timeout_slo_mult=12.0, retry_backoff=5.0),
+    # Everything at once: flapping links, a straggler, and a pool
+    # failure ninety seconds in.
+    "storm": FaultModel(
+        name="storm", flap_period=20.0, flap_duration=4.0,
+        link_degradation=0.25, straggler_devices=1,
+        straggler_slowdown=1.3, node_loss_fraction=0.25,
+        node_loss_time=90.0, shed_slo_mult=4.0,
+        timeout_slo_mult=8.0, retry_backoff=5.0),
+}
+
+#: Canonical ordering for CLIs, campaign axes, and reports.
+FAULT_MODEL_ORDER: tuple[str, ...] = (
+    "none", "flaky-link", "degraded-link", "straggler", "node-loss",
+    "storm")
+
+
+def fault_model(name: str) -> FaultModel:
+    """Look up a named fault model (raises ``KeyError`` with the
+    known names when unknown)."""
+    try:
+        return FAULT_MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown fault model {name!r}; known: "
+                       f"{', '.join(FAULT_MODEL_ORDER)}") from None

@@ -26,11 +26,13 @@ from collections.abc import Callable, Sequence
 
 # Re-exported: percentile's home is the shared metrics layer now, but
 # callers historically import it from here.
-from repro.core.metrics import (ExecutionMode, LatencyBreakdown,
-                                ServingStats, SimulationResult,
-                                percentile)
+from repro.core.metrics import (ExecutionMode, FaultStats,
+                                LatencyBreakdown, ServingStats,
+                                SimulationResult, percentile)
 from repro.core.simulator import simulate
 from repro.core.system import SystemConfig
+from repro.faults.lowering import (active_fault_model, degraded_config,
+                                   healthy_config, record_fault_stats)
 from repro.dnn.graph import Network
 from repro.dnn.registry import build_network, decode_network
 from repro.serving.batcher import BatchPolicy, next_batch
@@ -76,6 +78,13 @@ class ServingLedger:
     #: Request-batch memberships: requests (dynamic) or request-steps
     #: (continuous); ``work_items / n_batches`` is the mean batch size.
     work_items: int
+    #: Requests dropped by SLO-aware load shedding before service
+    #: (fault recovery; 0 when shedding is off).
+    n_shed: int = 0
+    #: Requests that completed past the request timeout and were
+    #: excluded from the completion ledger (their service time still
+    #: occupied the engine).
+    n_timed_out: int = 0
 
 
 class BatchLatencyModel:
@@ -108,14 +117,21 @@ class BatchLatencyModel:
 
 
 def run_dynamic(trace: Sequence[Request], policy: BatchPolicy,
-                latency_fn: LatencyFn,
-                n_servers: int = 1) -> ServingLedger:
+                latency_fn: LatencyFn, n_servers: int = 1, *,
+                shed_delay: float | None = None,
+                timeout: float | None = None) -> ServingLedger:
     """Serve a trace with dynamic batching over replica servers.
 
     Batches form and dispatch in strict FIFO arrival order; each
     batch goes to the replica that frees up first.  Completion order
     may differ across replicas (a later, smaller batch can finish
     first), but within a replica service is serial.
+
+    Fault recovery (both off by default, leaving the loop
+    byte-identical): ``shed_delay`` drops a request whose projected
+    queueing delay on the next-free replica already exceeds it;
+    ``timeout`` excludes completions slower than it from the ledger
+    (the replica still burned the service time).
     """
     if n_servers < 1:
         raise ValueError("need at least one server")
@@ -123,9 +139,19 @@ def run_dynamic(trace: Sequence[Request], policy: BatchPolicy,
     completed: list[CompletedRequest] = []
     busy = 0.0
     n_batches = 0
+    n_shed = 0
+    n_timed_out = 0
+    work_items = 0
     index = 0
     while index < len(trace):
         server = min(range(n_servers), key=free.__getitem__)
+        if shed_delay is not None:
+            while (index < len(trace)
+                   and free[server] - trace[index].arrival > shed_delay):
+                n_shed += 1
+                index += 1
+            if index >= len(trace):
+                break
         count, dispatch = next_batch(trace, index, free[server], policy)
         service = latency_fn(count)
         if service < 0:
@@ -134,18 +160,25 @@ def run_dynamic(trace: Sequence[Request], policy: BatchPolicy,
         free[server] = finish
         busy += service
         n_batches += 1
-        completed.extend(
-            CompletedRequest(request=r, dispatched=dispatch,
-                             finished=finish, service=service)
-            for r in trace[index:index + count])
+        work_items += count
+        for r in trace[index:index + count]:
+            if timeout is not None and finish - r.arrival > timeout:
+                n_timed_out += 1
+                continue
+            completed.append(
+                CompletedRequest(request=r, dispatched=dispatch,
+                                 finished=finish, service=service))
         index += count
     return ServingLedger(completed=tuple(completed), busy=busy,
-                         n_batches=n_batches, work_items=len(completed))
+                         n_batches=n_batches, work_items=work_items,
+                         n_shed=n_shed, n_timed_out=n_timed_out)
 
 
 def run_continuous(trace: Sequence[Request], policy: BatchPolicy,
                    step_fn: LatencyFn,
-                   prefill_fn: LatencyFn | None = None) \
+                   prefill_fn: LatencyFn | None = None, *,
+                   shed_delay: float | None = None,
+                   timeout: float | None = None) \
         -> ServingLedger:
     """Iteration-level (continuous) batching over one engine.
 
@@ -160,6 +193,11 @@ def run_continuous(trace: Sequence[Request], policy: BatchPolicy,
     never holds work back to fill a batch, so ``max_wait`` plays no
     role (``simulate_serving`` normalizes it to zero for continuous
     cells).
+
+    Fault recovery mirrors :func:`run_dynamic`: ``shed_delay`` drops a
+    waiting request at its admission opportunity once it has queued
+    longer than the threshold; ``timeout`` excludes too-slow
+    completions from the ledger.  Both default off and change nothing.
     """
     clock = 0.0
     index = 0
@@ -168,6 +206,8 @@ def run_continuous(trace: Sequence[Request], policy: BatchPolicy,
     busy = 0.0
     n_batches = 0
     work_items = 0
+    n_shed = 0
+    n_timed_out = 0
     while active or index < len(trace):
         if not active and trace[index].arrival > clock:
             clock = trace[index].arrival
@@ -175,10 +215,19 @@ def run_continuous(trace: Sequence[Request], policy: BatchPolicy,
         while (index < len(trace)
                and len(active) < policy.max_batch
                and trace[index].arrival <= clock):
-            active.append([trace[index].decode_steps, trace[index],
-                           clock])
+            request = trace[index]
+            if shed_delay is not None \
+                    and clock - request.arrival > shed_delay:
+                n_shed += 1
+                index += 1
+                continue
+            active.append([request.decode_steps, request, clock])
             admitted += 1
             index += 1
+        if not active:
+            # Every admissible request was shed; re-anchor the clock
+            # on the next arrival instead of running an empty step.
+            continue
         step = step_fn(len(active))
         if admitted and prefill_fn is not None:
             step += prefill_fn(admitted)
@@ -193,6 +242,10 @@ def run_continuous(trace: Sequence[Request], policy: BatchPolicy,
             entry[0] -= 1
             if entry[0] == 0:
                 _, request, admitted_at = entry
+                if timeout is not None \
+                        and clock - request.arrival > timeout:
+                    n_timed_out += 1
+                    continue
                 completed.append(CompletedRequest(
                     request=request, dispatched=admitted_at,
                     finished=clock, service=clock - admitted_at))
@@ -201,16 +254,30 @@ def run_continuous(trace: Sequence[Request], policy: BatchPolicy,
         active = still
     completed.sort(key=lambda c: (c.finished, c.request.rid))
     return ServingLedger(completed=tuple(completed), busy=busy,
-                         n_batches=n_batches, work_items=work_items)
+                         n_batches=n_batches, work_items=work_items,
+                         n_shed=n_shed, n_timed_out=n_timed_out)
 
 
 def compute_stats(ledger: ServingLedger, *, arrival: str, batcher: str,
                   policy: BatchPolicy, slo: float, offered_rate: float,
                   n_servers: int) -> ServingStats:
-    """Fold a server ledger into :class:`ServingStats`."""
+    """Fold a server ledger into :class:`ServingStats`.
+
+    A ledger that completed nothing (zero offered load, or every
+    request shed/timed out under fault injection) folds to a
+    well-defined all-zero record instead of dividing by zero.
+    """
     completed = ledger.completed
     if not completed:
-        raise ValueError("no completed requests")
+        return ServingStats(
+            arrival=arrival, batcher=batcher,
+            max_batch=policy.max_batch, max_wait=policy.max_wait,
+            slo=slo, n_requests=0, n_servers=n_servers, duration=0.0,
+            offered_rate=offered_rate, throughput=0.0, goodput=0.0,
+            slo_attainment=0.0, latency_mean=0.0, latency_p50=0.0,
+            latency_p95=0.0, latency_p99=0.0, latency_max=0.0,
+            queue_delay_mean=0.0, service_mean=0.0,
+            mean_batch_size=0.0, utilization=0.0)
     latencies = sorted(c.latency for c in completed)
     n = len(latencies)
     first_arrival = min(c.request.arrival for c in completed)
@@ -316,17 +383,35 @@ def simulate_serving(config: SystemConfig, network: str, *,
 
     from repro.telemetry.spans import span
 
-    prefill = BatchLatencyModel(config, network)
+    # Fault injection: serve on the degraded design and derive the
+    # shed/timeout thresholds from the SLO; with the null model every
+    # branch below collapses to the healthy configuration and the
+    # loops run with recovery off (byte-identical).
+    fault = active_fault_model(config)
+    serve_config = degraded_config(config) if fault is not None \
+        else config
+    shed_delay = (fault.shed_slo_mult * slo
+                  if fault is not None and fault.shed_slo_mult > 0
+                  else None)
+    timeout = (fault.timeout_slo_mult * slo
+               if fault is not None and fault.timeout_slo_mult > 0
+               else None)
+
+    prefill = BatchLatencyModel(serve_config, network)
     if batcher == "dynamic":
         with span("serving:batcher", batcher=batcher):
             ledger = run_dynamic(trace, policy, prefill,
-                                 n_servers=config.n_devices)
+                                 n_servers=config.n_devices,
+                                 shed_delay=shed_delay,
+                                 timeout=timeout)
         n_servers = config.n_devices
     elif batcher == "continuous":
-        step = BatchLatencyModel(config, decode_network(network))
+        step = BatchLatencyModel(serve_config, decode_network(network))
         with span("serving:batcher", batcher=batcher):
             ledger = run_continuous(trace, policy, step,
-                                    prefill_fn=prefill)
+                                    prefill_fn=prefill,
+                                    shed_delay=shed_delay,
+                                    timeout=timeout)
         n_servers = 1
     else:
         raise ValueError(f"unknown batcher {batcher!r}; "
@@ -337,6 +422,9 @@ def simulate_serving(config: SystemConfig, network: str, *,
                           offered_rate=rate, n_servers=n_servers)
     _record_serving(ledger, batcher)
     shape = prefill.result(max_batch)
+    faults = (_serving_fault_stats(fault, config, ledger, stats,
+                                   prefill, network, max_batch)
+              if fault is not None else None)
 
     return SimulationResult(
         system=config.name,
@@ -344,7 +432,10 @@ def simulate_serving(config: SystemConfig, network: str, *,
         batch=max_batch,
         strategy=ParallelStrategy.DATA,
         n_devices=config.n_devices,
-        iteration_time=stats.duration,
+        # An empty ledger has zero duration; fall back to the
+        # representative batch latency so the result stays valid.
+        iteration_time=(stats.duration if stats.n_requests > 0
+                        else shape.iteration_time),
         breakdown=shape.breakdown,
         offload_bytes_per_device=shape.offload_bytes_per_device,
         sync_bytes=shape.sync_bytes,
@@ -353,4 +444,40 @@ def simulate_serving(config: SystemConfig, network: str, *,
         mode=ExecutionMode.SERVING,
         serving=stats,
         prefetch=shape.prefetch,
+        faults=faults,
     )
+
+
+def _serving_fault_stats(fault, config: SystemConfig,
+                         ledger: ServingLedger, stats: ServingStats,
+                         prefill: BatchLatencyModel, network: str,
+                         max_batch: int) -> FaultStats:
+    """Fold one faulted serving run's ledger into :class:`FaultStats`.
+
+    ``slowdown`` compares the representative ``max_batch`` latency on
+    the degraded design against the healthy twin; ``availability`` is
+    the fraction of offered requests that completed in time (shed and
+    timed-out requests are the casualties).
+    """
+    healthy = BatchLatencyModel(healthy_config(config), network)
+    slowdown = prefill(max_batch) / healthy(max_batch)
+    offered = (stats.n_requests + ledger.n_shed + ledger.n_timed_out)
+    standing = (fault.standing_multiplier < 1.0
+                or fault.compute_multiplier > 1.0
+                or (fault.node_loss_fraction > 0
+                    and config.memory_node is not None))
+    fraction = 1.0 if standing else fault.flap_duty
+    result = FaultStats(
+        model=fault.name,
+        injected_events=(fault.flap_count_until(stats.duration)
+                         + fault.standing_events()),
+        degraded_seconds=fraction * stats.duration,
+        slowdown=slowdown,
+        retries=0,
+        shed_requests=ledger.n_shed,
+        timed_out_requests=ledger.n_timed_out,
+        recovery_bytes=0,
+        availability=(stats.n_requests / offered if offered else 1.0),
+    )
+    record_fault_stats(result, "serving")
+    return result

@@ -32,7 +32,20 @@ from repro.telemetry.manifest import build_manifest, write_manifest
 from repro.telemetry.registry import to_prometheus
 
 __all__ = ["TelemetrySession", "add_telemetry_argument",
-           "artifact_paths", "summary_text"]
+           "artifact_paths", "eta_seconds", "summary_text"]
+
+
+def eta_seconds(total_sim_seconds: float, simulated: int,
+                remaining: int) -> float | None:
+    """Mean-cell ETA of a campaign's live progress line.
+
+    Returns ``None`` when nothing has simulated yet (a fully-cached
+    run has zero non-cached cells -- the mean would divide by zero) or
+    when nothing remains.
+    """
+    if simulated <= 0 or remaining <= 0:
+        return None
+    return total_sim_seconds / simulated * remaining
 
 
 def add_telemetry_argument(parser) -> None:
@@ -156,16 +169,24 @@ class TelemetrySession:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        # Always returns False: the session must never swallow an
+        # in-run exception.  The three artifacts still flush on the
+        # error path (truncated telemetry beats none when a campaign
+        # dies mid-run), but a failure *while flushing* must not mask
+        # the original exception.
         if not self.enabled:
             return False
         try:
+            self._finalize(
+                error=None if exc_type is None else exc_type.__name__)
+        except Exception:
             if exc_type is None:
-                self._finalize()
+                raise
         finally:
             telemetry.disable()
         return False
 
-    def _finalize(self) -> None:
+    def _finalize(self, error: str | None = None) -> None:
         wall = time.perf_counter() - self._t0
         registry = telemetry.metrics_registry()
         recorder = telemetry.span_recorder()
@@ -180,6 +201,8 @@ class TelemetrySession:
         lines.append({"event": "metrics", "snapshot": self.snapshot})
         end: dict[str, Any] = {"event": "end",
                                "n_events": len(self.events)}
+        if error is not None:
+            end["error"] = error
         if self.cells is not None:
             end["cells"] = dict(self.cells)
         lines.append(end)

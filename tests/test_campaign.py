@@ -26,6 +26,16 @@ SMALL_GRID = grid(("DC-DLA", "MC-DLA(B)"), ("AlexNet", "RNN-GEMV"),
                   (512,), (ParallelStrategy.DATA,))
 
 
+def _lethal_factory(design, **overrides):
+    """Pool-worker factory that hard-kills its process for one design
+    -- the shape of an OOM kill or segfault mid-cell (module-level so
+    pool workers can unpickle it)."""
+    if design == "MC-DLA(B)":
+        import os
+        os._exit(1)
+    return design_point(design, **overrides)
+
+
 @pytest.fixture()
 def cache(tmp_path):
     return ResultCache(tmp_path / "cache")
@@ -144,6 +154,26 @@ class TestRunner:
         report = run_campaign(SMALL_GRID + (bad,), jobs=2)
         assert len(report.failures) == 1
         assert sum(o.ok for o in report.outcomes) == len(SMALL_GRID)
+
+    def test_worker_death_recovers_surviving_cells(self):
+        """Regression: a worker hard-exit breaks the whole pool, so
+        every in-flight cell sees ``BrokenProcessPool``.  Innocent
+        cells must still produce their (byte-identical) results; only
+        the cell that kills its private retry worker again is failed,
+        with a clear error."""
+        points = grid(("DC-DLA", "HC-DLA", "MC-DLA(B)"), ("AlexNet",),
+                      (256,), (ParallelStrategy.DATA,))
+        report = run_campaign(points, jobs=2, factory=_lethal_factory)
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.point.design == "MC-DLA(B)"
+        assert "worker process died" in failure.error
+        assert "MC-DLA(B)" in failure.error
+        survivors = [o for o in report.outcomes if o.ok]
+        assert len(survivors) == 2
+        healthy = run_campaign([o.point for o in survivors])
+        assert {o.point.key: o.result
+                for o in survivors} == healthy.results
 
     def test_duplicate_keys_rejected(self):
         clash = CampaignPoint("DC-DLA", "AlexNet", label="x")

@@ -3,6 +3,8 @@
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.cluster import (CostOracle, JobKind, JobSpec, MemoryPool,
                            QueueEntry, Release, earliest_start,
@@ -412,6 +414,32 @@ class TestClusterSimulator:
         # Jobs without pool pressure are unaffected by the estimate.
         free = profile_of(2, 9.0, 0)
         assert estimated_wall_seconds(9.0, free, pool, penalty) == 9.0
+
+    @given(remaining=st.floats(min_value=-1e-6, max_value=1e4,
+                               allow_nan=False),
+           reserved_gb=st.integers(min_value=0, max_value=150),
+           pool_gb=st.integers(min_value=0, max_value=50),
+           vmem_share=st.floats(min_value=0.0, max_value=1.0,
+                                allow_nan=False))
+    def test_wall_estimate_never_negative(self, remaining, reserved_gb,
+                                          pool_gb, vmem_share):
+        """Property: repeated preemption/restart accounting can leave
+        float dust below zero in a job's remaining work; the wall
+        estimate must clamp it, or SJF ordering and backfill windows
+        would act on negative durations."""
+        from repro.cluster.simulator import estimated_wall_seconds
+        pool = MemoryPool(100 * GB, oversubscription=2.0)
+        pool.reserve(reserved_gb * GB)
+        profile = profile_of(2, 9.0, pool_gb * GB,
+                             vmem_share=vmem_share)
+        penalty = spill_penalty(design_point("MC-DLA(B)"))
+        wall = estimated_wall_seconds(remaining, profile, pool,
+                                      penalty)
+        assert wall >= 0.0
+        if remaining <= 0.0:
+            assert wall == 0.0
+        else:
+            assert wall >= remaining
 
     def test_percentile_nearest_rank(self):
         values = [1.0, 2.0, 3.0, 4.0]

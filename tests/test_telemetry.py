@@ -24,7 +24,7 @@ from repro.telemetry.manifest import (WALL_CLOCK_FIELDS, build_manifest,
 from repro.telemetry.registry import (NOOP, MetricsRegistry,
                                       to_prometheus)
 from repro.telemetry.session import (TelemetrySession, artifact_paths,
-                                     summary_text)
+                                     eta_seconds, summary_text)
 from repro.telemetry.spans import (HOST_PID, NOOP_SPAN,
                                    chrome_span_events, span,
                                    span_totals)
@@ -376,6 +376,67 @@ class TestSession:
         text = summary_text(registry.snapshot(), {})
         assert "campaign_cache" in text
         assert "75.0%" in text
+
+    def test_eta_guards_fully_cached_and_finished_runs(self):
+        """Regression: a fully-cached campaign has zero simulated
+        cells -- the mean-cell ETA must not divide by zero."""
+        assert eta_seconds(0.0, 0, 10) is None
+        assert eta_seconds(12.0, 4, 0) is None
+        assert eta_seconds(12.0, 4, 3) == pytest.approx(9.0)
+
+    def test_exception_still_flushes_artifacts(self, tmp_path, capsys):
+        """Regression: a campaign dying mid-run must still write its
+        (truncated) telemetry -- and the exception must propagate."""
+        out = tmp_path / "run.json"
+        session = TelemetrySession(tool="campaign", argv=["x"],
+                                   enabled=True, output=str(out))
+        with pytest.raises(ValueError, match="boom"):
+            with session:
+                session.emit({"event": "cell", "ok": False})
+                raise ValueError("boom")
+        assert telemetry.metrics_registry() is None
+        paths = artifact_paths("campaign", str(out))
+        for path in paths.values():
+            assert path.exists()
+        lines = [json.loads(line) for line in
+                 paths["jsonl"].read_text().splitlines()]
+        assert lines[1] == {"event": "cell", "ok": False}
+        assert lines[-1]["event"] == "end"
+        assert lines[-1]["error"] == "ValueError"
+        capsys.readouterr()
+
+    def test_clean_exit_records_no_error_key(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        session = TelemetrySession(tool="campaign", argv=[],
+                                   enabled=True, output=str(out))
+        with session:
+            pass
+        end = json.loads(artifact_paths("campaign", str(out))["jsonl"]
+                         .read_text().splitlines()[-1])
+        assert "error" not in end
+        capsys.readouterr()
+
+    def test_flush_failure_never_masks_the_run_exception(self,
+                                                         tmp_path):
+        """A broken output directory must not replace the original
+        in-run exception with an IO error..."""
+        bad = tmp_path / "no-such-dir" / "run.json"
+        session = TelemetrySession(tool="campaign", argv=[],
+                                   enabled=True, output=str(bad))
+        with pytest.raises(ValueError, match="boom"):
+            with session:
+                raise ValueError("boom")
+        assert telemetry.metrics_registry() is None
+
+    def test_flush_failure_surfaces_on_clean_exit(self, tmp_path):
+        """...but on a clean run the flush failure is the story."""
+        bad = tmp_path / "no-such-dir" / "run.json"
+        session = TelemetrySession(tool="campaign", argv=[],
+                                   enabled=True, output=str(bad))
+        with pytest.raises(FileNotFoundError):
+            with session:
+                pass
+        assert telemetry.metrics_registry() is None
 
 
 class TestCampaignCli:
