@@ -423,6 +423,7 @@ def main(argv: list[str] | None = None) -> int:
         print("       python -m repro cluster [options]")
         print("       python -m repro prefetch [options]")
         print("       python -m repro faults [options]")
+        print("       python -m repro claims [options]")
         print("       python -m repro bench [--quick] [--update]")
         print("       python -m repro trace <design> <network> [options]")
         print("experiments:")
@@ -438,6 +439,8 @@ def main(argv: list[str] | None = None) -> int:
               "stall, waste, evictions (--help for options)")
         print("  faults       fault models x designs x modes: "
               "slowdown, availability, recovery (--help for options)")
+        print("  claims       the shipped paper-claims suite: "
+              "PASS/FAIL verdict table (--help for options)")
         print("  bench        time the simulator, diff against the "
               "committed BENCH_*.json baselines (--help for options)")
         print("  trace        Chrome/Perfetto trace of one iteration "
@@ -461,6 +464,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args[0] == "faults":
         return _faults_main(args[1:])
+
+    if args[0] == "claims":
+        from repro.scenarios.cli import main as claims_main
+        return claims_main(args[1:])
 
     if args[0] == "bench":
         from repro.bench import main as bench_main

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Any
@@ -348,3 +349,13 @@ def canonicalize(value: Any) -> Any:
 def _json_image(value: Any) -> str:
     """A total, hash-independent ordering key for canonical values."""
     return json.dumps(value, sort_keys=True)
+
+
+def canonical_fingerprint(value: Any) -> str:
+    """SHA-256 of a value's canonical JSON image.
+
+    Stable across processes, platforms, and ``PYTHONHASHSEED`` -- the
+    identity the scenario DSL stamps on every declared scenario.
+    """
+    image = _json_image(canonicalize(value))
+    return hashlib.sha256(image.encode("utf-8")).hexdigest()

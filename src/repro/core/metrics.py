@@ -29,6 +29,45 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     return sorted_values[rank - 1]
 
 
+class MetricPathError(ValueError):
+    """A dotted metric path does not resolve on a result."""
+
+
+def resolve_metric(result: "SimulationResult", path: str) -> float:
+    """Resolve a dotted attribute path to one numeric metric.
+
+    ``"iteration_time"``, ``"breakdown.vmem_share"``,
+    ``"cluster.jct_p95"``, ``"prefetch.stall_seconds"`` -- any chain of
+    dataclass fields and properties ending in a number.  Booleans fold
+    to 0.0/1.0 so capacity predicates (``fits_in_device_memory``) bind
+    like any other metric.  Raises :class:`MetricPathError` when a
+    segment is missing, or lands on an optional payload that this
+    result did not produce (e.g. ``cluster.*`` on a training result).
+    """
+    value: Any = result
+    walked: list[str] = []
+    for segment in path.split("."):
+        if value is None:
+            raise MetricPathError(
+                f"metric {path!r}: {'.'.join(walked)!r} is None on "
+                f"this result (mode={result.mode.value}); the claim "
+                f"binds a payload this scenario does not produce")
+        try:
+            value = getattr(value, segment)
+        except AttributeError:
+            raise MetricPathError(
+                f"metric {path!r}: {type(value).__name__} has no "
+                f"attribute {segment!r}") from None
+        walked.append(segment)
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise MetricPathError(
+        f"metric {path!r} resolved to {type(value).__name__}, "
+        f"not a number")
+
+
 class ExecutionMode(enum.Enum):
     """What one ``simulate()`` call models.
 
@@ -69,6 +108,16 @@ class LatencyBreakdown:
     @property
     def total(self) -> float:
         return self.compute + self.sync + self.vmem
+
+    @property
+    def vmem_share(self) -> float:
+        """Virtualization share of the raw engine totals, in [0, 1].
+
+        Above 0.5 the run is vmem-bound: migration alone outweighs
+        compute and synchronization combined.
+        """
+        total = self.total
+        return self.vmem / total if total > 0 else 0.0
 
     def normalized_to(self, reference_total: float) -> "LatencyBreakdown":
         if reference_total <= 0:

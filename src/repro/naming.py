@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.design_points import DESIGN_ORDER
 from repro.dnn.registry import WORKLOAD_NAMES
+from repro.faults.model import FAULT_MODEL_ORDER
 
 #: Friendly aliases on top of the exact design-point names.
 DESIGN_ALIASES = {
@@ -30,6 +31,20 @@ DESIGN_ALIASES = {
 #: Friendly aliases on top of the registered workload names.
 NETWORK_ALIASES = {
     "bert": "BERT-Large",
+}
+
+#: Friendly aliases on top of the named fault models.
+FAULT_ALIASES = {
+    "healthy": "none",
+    "ok": "none",
+    "flaky": "flaky-link",
+    "flap": "flaky-link",
+    "degraded": "degraded-link",
+    "slow-link": "degraded-link",
+    "slow-device": "straggler",
+    "throttled": "straggler",
+    "pool-loss": "node-loss",
+    "everything": "storm",
 }
 
 
@@ -56,3 +71,16 @@ def resolve_network(raw: str) -> str:
             return name
     raise KeyError(f"unknown network {raw!r}; "
                    f"known: {', '.join(WORKLOAD_NAMES)}")
+
+
+def resolve_fault_model(raw: str) -> str:
+    """Map a fault-model name or alias to its canonical form."""
+    lowered = raw.strip().lower()
+    if lowered in FAULT_ALIASES:
+        return FAULT_ALIASES[lowered]
+    if lowered in FAULT_MODEL_ORDER:
+        return lowered
+    raise KeyError(
+        f"unknown fault model {raw!r}; "
+        f"known: {', '.join(FAULT_MODEL_ORDER)} "
+        f"(aliases: {', '.join(sorted(FAULT_ALIASES))})")

@@ -1,0 +1,412 @@
+"""Claim primitives: expected relations over scenario metrics.
+
+A :class:`Claim` binds one dotted metric path (resolved by
+:func:`repro.core.metrics.resolve_metric`) to an expected relationship
+across named scenarios, and evaluates to a
+:class:`~repro.scenarios.verdict.Verdict`.  The primitives:
+
+``ratio_at_least``
+    ``aggregate(metric[num_i] / metric[den_i]) >= threshold`` (with an
+    optional upper window bound) -- speedup and dominance factors.
+``ratio_dominates``
+    one aggregated ratio against another -- "data-parallel gains
+    exceed model-parallel gains", "LOCAL reaches 96% of BW_AWARE".
+``within_pct``
+    every scenario's metric within a percentage of a reference
+    scenario's (``pct=0`` is exact equality -- conservation laws).
+``monotone_in``
+    the metric is monotone along an ordered scenario list -- frontier
+    claims such as "more PIM offload never hurts".
+``dominates``
+    pairwise ``winner <= loser`` (or ``>=``) with a tolerance --
+    oracle bounds, schedule orderings, ties allowed by default.
+``at_least`` / ``at_most``
+    per-scenario bounds, optionally satisfied by a quorum
+    (``min_count``) -- availability floors, "vmem-bound on >= 10 of
+    16 cells", zero-host-traffic invariants.
+
+Evaluation never raises: any exception (failed scenario, unresolvable
+metric, degenerate aggregate) becomes an ERROR verdict carrying the
+exception text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.metrics import SimulationResult, resolve_metric
+from repro.scenarios.verdict import Status, Verdict
+from repro.units import harmonic_mean
+
+#: Scenario name -> simulated result; raises for failed scenarios.
+Lookup = Callable[[str], SimulationResult]
+
+_AGGREGATES = {
+    "min": min,
+    "max": max,
+    "hmean": harmonic_mean,
+}
+
+
+@dataclass(frozen=True)
+class Claim:
+    """Base: a named expectation over one metric path."""
+
+    name: str
+    metric: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("claim needs a name")
+
+    def scenario_names(self) -> tuple[str, ...]:
+        """Every scenario this claim binds (for suite validation)."""
+        raise NotImplementedError
+
+    def check(self, lookup: Lookup) -> Verdict:
+        raise NotImplementedError
+
+    def evaluate(self, lookup: Lookup) -> Verdict:
+        """:meth:`check`, with failures folded to ERROR verdicts."""
+        try:
+            return self.check(lookup)
+        except Exception as exc:
+            return Verdict(
+                claim=self.name, status=Status.ERROR, measured=None,
+                expected=f"metric {self.metric!r}", margin=None,
+                detail=f"{type(exc).__name__}: {exc}")
+
+    # -- shared helpers -------------------------------------------------
+
+    def _values(self, lookup: Lookup, names) -> list[float]:
+        return [resolve_metric(lookup(name), self.metric)
+                for name in names]
+
+    def _verdict(self, holds: bool, measured: float, expected: str,
+                 margin: float, detail: str = "") -> Verdict:
+        return Verdict(
+            claim=self.name,
+            status=Status.PASS if holds else Status.FAIL,
+            # + 0.0 folds IEEE -0.0 to +0.0 (render determinism).
+            measured=measured + 0.0, expected=expected,
+            margin=margin + 0.0,
+            detail=detail if not holds else "")
+
+
+def _paired(label: str, left, right) -> list[tuple[str, str]]:
+    """Zip two name tuples, broadcasting a length-1 side."""
+    left, right = tuple(left), tuple(right)
+    if not left or not right:
+        raise ValueError(f"{label}: needs at least one pair")
+    if len(left) == 1:
+        left = left * len(right)
+    if len(right) == 1:
+        right = right * len(left)
+    if len(left) != len(right):
+        raise ValueError(f"{label}: sides must align "
+                         f"({len(left)} vs {len(right)})")
+    return list(zip(left, right))
+
+
+def _aggregate(kind: str):
+    try:
+        return _AGGREGATES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregate {kind!r}; "
+            f"known: {', '.join(sorted(_AGGREGATES))}") from None
+
+
+@dataclass(frozen=True)
+class ratio_at_least(Claim):
+    """``aggregate(metric[num] / metric[den])`` inside a lower-bounded
+    (optionally windowed) range."""
+
+    numerators: tuple[str, ...] = ()
+    denominators: tuple[str, ...] = ()
+    threshold: float = 1.0
+    at_most: float | None = None
+    aggregate: str = "min"
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _aggregate(self.aggregate)
+        object.__setattr__(self, "numerators",
+                           tuple(self.numerators))
+        object.__setattr__(self, "denominators",
+                           tuple(self.denominators))
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return self.numerators + self.denominators
+
+    def check(self, lookup: Lookup) -> Verdict:
+        pairs = _paired(self.name, self.numerators, self.denominators)
+        ratios = [resolve_metric(lookup(num), self.metric)
+                  / resolve_metric(lookup(den), self.metric)
+                  for num, den in pairs]
+        stat = _aggregate(self.aggregate)(ratios)
+        relation = ">" if self.strict else ">="
+        expected = (f"{self.aggregate}(ratio) {relation} "
+                    f"{self.threshold:g}")
+        margin = stat - self.threshold
+        holds = stat > self.threshold if self.strict \
+            else stat >= self.threshold
+        if self.at_most is not None:
+            expected += f", <= {self.at_most:g}"
+            margin = min(margin, self.at_most - stat)
+            holds = holds and stat <= self.at_most
+        worst = min(zip(ratios, pairs))
+        detail = (f"worst {worst[1][0]} / {worst[1][1]} "
+                  f"= {worst[0]:.6g}")
+        return self._verdict(holds, stat, expected, margin, detail)
+
+
+@dataclass(frozen=True)
+class ratio_dominates(Claim):
+    """One aggregated ratio exceeds another by ``factor`` (optionally
+    windowed from above)."""
+
+    numerators_a: tuple[str, ...] = ()
+    denominators_a: tuple[str, ...] = ()
+    numerators_b: tuple[str, ...] = ()
+    denominators_b: tuple[str, ...] = ()
+    factor: float = 1.0
+    at_most: float | None = None
+    aggregate: str = "hmean"
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _aggregate(self.aggregate)
+        for field in ("numerators_a", "denominators_a",
+                      "numerators_b", "denominators_b"):
+            object.__setattr__(self, field,
+                               tuple(getattr(self, field)))
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return (self.numerators_a + self.denominators_a
+                + self.numerators_b + self.denominators_b)
+
+    def _side(self, lookup: Lookup, numerators, denominators) -> float:
+        pairs = _paired(self.name, numerators, denominators)
+        ratios = [resolve_metric(lookup(num), self.metric)
+                  / resolve_metric(lookup(den), self.metric)
+                  for num, den in pairs]
+        return _aggregate(self.aggregate)(ratios)
+
+    def check(self, lookup: Lookup) -> Verdict:
+        side_a = self._side(lookup, self.numerators_a,
+                            self.denominators_a)
+        side_b = self._side(lookup, self.numerators_b,
+                            self.denominators_b)
+        stat = side_a / side_b
+        relation = ">" if self.strict else ">="
+        expected = (f"{self.aggregate}(A)/{self.aggregate}(B) "
+                    f"{relation} {self.factor:g}")
+        margin = stat - self.factor
+        holds = stat > self.factor if self.strict \
+            else stat >= self.factor
+        if self.at_most is not None:
+            expected += f", <= {self.at_most:g}"
+            margin = min(margin, self.at_most - stat)
+            holds = holds and stat <= self.at_most
+        detail = f"A={side_a:.6g} B={side_b:.6g}"
+        return self._verdict(holds, stat, expected, margin, detail)
+
+
+@dataclass(frozen=True)
+class within_pct(Claim):
+    """Every scenario's metric within ``pct`` percent of the
+    reference scenario's (``pct=0`` demands exact equality)."""
+
+    scenarios: tuple[str, ...] = ()
+    reference: str = ""
+    pct: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if not self.scenarios or not self.reference:
+            raise ValueError(f"{self.name}: needs scenarios and a "
+                             f"reference")
+        if self.pct < 0:
+            raise ValueError("pct must be non-negative")
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return self.scenarios + (self.reference,)
+
+    def check(self, lookup: Lookup) -> Verdict:
+        ref = resolve_metric(lookup(self.reference), self.metric)
+        deviations = []
+        for name in self.scenarios:
+            value = resolve_metric(lookup(name), self.metric)
+            if ref == 0.0:
+                deviations.append((0.0 if value == 0.0 else
+                                   float("inf"), name))
+            else:
+                deviations.append((abs(value - ref) / abs(ref) * 100.0,
+                                   name))
+        worst_dev, worst_name = max(deviations)
+        expected = f"within {self.pct:g}% of {self.reference}"
+        return self._verdict(
+            worst_dev <= self.pct, worst_dev, expected,
+            self.pct - worst_dev, f"worst {worst_name}")
+
+
+@dataclass(frozen=True)
+class monotone_in(Claim):
+    """The metric is monotone along the ordered scenario list."""
+
+    scenarios: tuple[str, ...] = ()
+    direction: str = "non-increasing"
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if len(self.scenarios) < 2:
+            raise ValueError(f"{self.name}: monotonicity needs at "
+                             f"least two scenarios")
+        if self.direction not in ("non-increasing", "non-decreasing"):
+            raise ValueError("direction must be 'non-increasing' or "
+                             "'non-decreasing'")
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return self.scenarios
+
+    def check(self, lookup: Lookup) -> Verdict:
+        values = self._values(lookup, self.scenarios)
+        sign = 1.0 if self.direction == "non-increasing" else -1.0
+        # A violation is a step *against* the direction; the worst
+        # step is the claim's statistic (<= 0 means monotone).
+        steps = [(sign * (b - a), i)
+                 for i, (a, b) in enumerate(zip(values, values[1:]))]
+        worst, index = max(steps)
+        relation = "<" if self.strict else "<="
+        expected = (f"{self.direction}"
+                    f"{' (strict)' if self.strict else ''}: "
+                    f"worst step {relation} 0")
+        holds = worst < 0.0 if self.strict else worst <= 0.0
+        detail = (f"worst step {self.scenarios[index]} -> "
+                  f"{self.scenarios[index + 1]}")
+        return self._verdict(holds, worst, expected, -worst, detail)
+
+
+@dataclass(frozen=True)
+class dominates(Claim):
+    """Pairwise: each winner's metric beats (or ties) its loser's."""
+
+    winners: tuple[str, ...] = ()
+    losers: tuple[str, ...] = ()
+    #: ``"min"``: smaller is better (winner <= loser); ``"max"``: the
+    #: reverse.
+    sense: str = "min"
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "winners", tuple(self.winners))
+        object.__setattr__(self, "losers", tuple(self.losers))
+        if self.sense not in ("min", "max"):
+            raise ValueError("sense must be 'min' or 'max'")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return self.winners + self.losers
+
+    def check(self, lookup: Lookup) -> Verdict:
+        pairs = _paired(self.name, self.winners, self.losers)
+        sign = 1.0 if self.sense == "min" else -1.0
+        # Positive gap = violation beyond the tolerance.
+        gaps = [(sign * (resolve_metric(lookup(winner), self.metric)
+                         - resolve_metric(lookup(loser), self.metric))
+                 - self.tolerance, (winner, loser))
+                for winner, loser in pairs]
+        worst, (winner, loser) = max(gaps)
+        relation = "<=" if self.sense == "min" else ">="
+        expected = f"winner {relation} loser"
+        if self.tolerance:
+            expected += f" (tol {self.tolerance:g})"
+        detail = f"worst {winner} vs {loser}"
+        return self._verdict(worst <= 0.0, worst, expected, -worst,
+                             detail)
+
+
+@dataclass(frozen=True)
+class _Bound(Claim):
+    """Shared body of :class:`at_least` / :class:`at_most`."""
+
+    scenarios: tuple[str, ...] = ()
+    bound: float = 0.0
+    #: With a quorum, the claim holds when at least this many
+    #: scenarios satisfy the bound (the statistic becomes the count).
+    min_count: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if not self.scenarios:
+            raise ValueError(f"{self.name}: needs scenarios")
+        if self.min_count is not None \
+                and not 1 <= self.min_count <= len(self.scenarios):
+            raise ValueError(f"{self.name}: min_count must lie in "
+                             f"[1, {len(self.scenarios)}]")
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return self.scenarios
+
+    def _satisfies(self, value: float) -> bool:
+        raise NotImplementedError
+
+    def _relation(self) -> str:
+        raise NotImplementedError
+
+    def check(self, lookup: Lookup) -> Verdict:
+        values = self._values(lookup, self.scenarios)
+        relation = self._relation()
+        if self.min_count is not None:
+            count = sum(1 for v in values if self._satisfies(v))
+            expected = (f">= {self.min_count} of "
+                        f"{len(values)} scenarios "
+                        f"{relation} {self.bound:g}")
+            return self._verdict(
+                count >= self.min_count, float(count), expected,
+                float(count - self.min_count),
+                f"{count} of {len(values)} satisfy")
+        extremum = min if relation == ">=" else max
+        stat, name = extremum(zip(values, self.scenarios))
+        expected = f"every scenario {relation} {self.bound:g}"
+        margin = (stat - self.bound if relation == ">="
+                  else self.bound - stat)
+        return self._verdict(margin >= 0.0, stat, expected, margin,
+                             f"worst {name}")
+
+
+@dataclass(frozen=True)
+class at_least(_Bound):
+    """Metric >= bound on every scenario (or on a quorum)."""
+
+    def _satisfies(self, value: float) -> bool:
+        return value >= self.bound
+
+    def _relation(self) -> str:
+        return ">="
+
+
+@dataclass(frozen=True)
+class at_most(_Bound):
+    """Metric <= bound on every scenario (or on a quorum)."""
+
+    def _satisfies(self, value: float) -> bool:
+        return value <= self.bound
+
+    def _relation(self) -> str:
+        return "<="
+
+
+def evaluate_claims(claims, lookup: Lookup) -> tuple[Verdict, ...]:
+    """Evaluate every claim, in order; never raises."""
+    return tuple(claim.evaluate(lookup) for claim in claims)

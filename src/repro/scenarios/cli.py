@@ -1,0 +1,82 @@
+"""``python -m repro claims``: run the shipped claims suite.
+
+Renders the verdict table (text, CSV, or byte-deterministic JSON) and
+exits nonzero when any claim FAILs or ERRORs, so CI can gate on the
+paper's argument directly.  The run summary goes to stderr; results go
+to stdout (or ``-o``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.cache import ResultCache
+from repro.scenarios.paper import paper_suite
+from repro.scenarios.runner import run_suite
+from repro.scenarios.verdict import render_csv, render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro claims",
+        description="evaluate the shipped paper-claims suite")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="slice the evaluation grid to one workload (CI smoke)")
+    parser.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="verdict rendering (default: table)")
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="write the rendering to a file instead of stdout")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the scenario cells (default: 1)")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="campaign result cache directory "
+             "(default: $REPRO_CACHE_DIR if set)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="simulate every cell even when cached")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="print scenario names + fingerprints and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None, *,
+         suite_factory=paper_suite) -> int:
+    args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("claims: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    suite = suite_factory(quick=args.quick)
+
+    if args.list_scenarios:
+        for scenario in suite.scenarios:
+            print(f"{scenario.fingerprint()}  {scenario.name}")
+        print(f"{suite.name}: {len(suite.scenarios)} scenarios, "
+              f"{len(suite.claims)} claims", file=sys.stderr)
+        return 0
+
+    cache = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            cache = ResultCache(args.cache_dir)
+        else:
+            cache = ResultCache.from_env()
+
+    report = run_suite(suite, jobs=args.jobs, cache=cache)
+    render = {"table": render_text, "csv": render_csv,
+              "json": render_json}[args.format]
+    text = render(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    print(report.summary(), file=sys.stderr)
+    return 0 if report.ok else 1

@@ -1,0 +1,469 @@
+"""The shipped claims suite: the paper's argument, executable.
+
+Every headline result from the paper and from the repo's own studies
+(cluster scheduling, serving, pipeline schedules, prefetch policies,
+fault injection) is encoded as scenarios + claims, so ``python -m
+repro claims`` verifies the whole thesis in one run and CI gates on
+it.  Two scenario groups exercise axes *only* the DSL can spell:
+
+* ``frontier/pim-*``: MC-DLA(B) with memory nodes absorbing 0/25/50%
+  of eligible op traffic near the data;
+* ``frontier/fleet-*``: heterogeneous gangs mixing Pascal- and
+  Volta-generation devices, gated by the slowest member.
+
+Thresholds are deliberately looser than the measured values (recorded
+in ``tests/golden/claims.json``): a claim FAIL means the *shape* of a
+result flipped, not that a scalar drifted within noise -- the golden
+snapshot guards the scalars.
+
+``paper_suite(quick=True)`` swaps the 96-cell evaluation grid for a
+single-workload slice (dropping only the grid-wide harmonic-mean
+claims whose thresholds need the full population) so CI smoke stays
+fast; every other group is cheap enough to keep.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.registry import BENCHMARK_NAMES, CNN_NAMES
+from repro.scenarios.claims import (Claim, at_least, at_most, dominates,
+                                    monotone_in, ratio_at_least,
+                                    ratio_dominates, within_pct)
+from repro.scenarios.dsl import (DesignSpec, FleetSpec, Scenario,
+                                 TrafficSpec, WorkloadSpec)
+from repro.scenarios.runner import ClaimSuite
+from repro.units import TB
+
+#: The five buildable designs plus the oracle, in figure order.
+DC = "DC-DLA"
+HC = "HC-DLA"
+MC_S = "MC-DLA(S)"
+MC_L = "MC-DLA(L)"
+MC_B = "MC-DLA(B)"
+ORACLE = "DC-DLA(O)"
+
+_GRID_DESIGNS = (DC, HC, MC_S, MC_L, MC_B, ORACLE)
+_STRATS = {"dp": "data", "mp": "model"}
+
+
+def _cell(design: str, network: str, strat: str) -> str:
+    return f"{design}/{network}/{strat}"
+
+
+def _cells(design: str, networks, strategies) -> tuple[str, ...]:
+    return tuple(_cell(design, network, strat)
+                 for strat in strategies for network in networks)
+
+
+# ---------------------------------------------------------------------
+# The paper's evaluation grid (Figures 11-13)
+# ---------------------------------------------------------------------
+
+def training_scenarios(networks=BENCHMARK_NAMES,
+                       strategies=("dp", "mp")) -> list[Scenario]:
+    return [
+        Scenario(name=_cell(design, network, strat),
+                 system=DesignSpec(design),
+                 workload=WorkloadSpec(network=network,
+                                       strategy=_STRATS[strat]))
+        for strat in strategies
+        for network in networks
+        for design in _GRID_DESIGNS
+    ]
+
+
+def training_claims(networks=BENCHMARK_NAMES,
+                    strategies=("dp", "mp")) -> list[Claim]:
+    """Per-cell structural claims: valid on any grid slice."""
+    dc = _cells(DC, networks, strategies)
+    mc_b = _cells(MC_B, networks, strategies)
+    oracle = _cells(ORACLE, networks, strategies)
+    every = [_cells(d, networks, strategies) for d in _GRID_DESIGNS]
+    all_cells = tuple(cell for cells in every for cell in cells)
+    claims: list[Claim] = [
+        ratio_at_least(
+            name="every-workload-benefits", metric="iteration_time",
+            numerators=dc, denominators=mc_b,
+            threshold=1.4, aggregate="min"),
+        dominates(
+            name="oracle-bounds-everything", metric="iteration_time",
+            winners=oracle * len(_GRID_DESIGNS), losers=all_cells,
+            sense="min", tolerance=1e-12),
+        dominates(
+            name="dc-cheapest-sync", metric="breakdown.sync",
+            winners=dc * 3,
+            losers=(_cells(HC, networks, strategies)
+                    + _cells(MC_S, networks, strategies) + mc_b),
+            sense="min", tolerance=1e-12),
+        at_most(
+            name="mc-never-touches-host",
+            metric="host_traffic_bytes_per_device",
+            scenarios=(_cells(MC_S, networks, strategies)
+                       + _cells(MC_L, networks, strategies)
+                       + mc_b + oracle),
+            bound=0.0),
+    ]
+    for strat in strategies:
+        for network in networks:
+            if network not in CNN_NAMES:
+                continue
+            claims.append(within_pct(
+                name=f"byte-conservation/{network}/{strat}",
+                metric="offload_bytes_per_device",
+                scenarios=tuple(_cell(d, network, strat)
+                                for d in (HC, MC_S, MC_L, MC_B)),
+                reference=_cell(DC, network, strat), pct=0.0))
+    return claims
+
+
+def headline_claims() -> list[Claim]:
+    """Grid-wide harmonic-mean claims (need the full 96 cells)."""
+    networks, strategies = BENCHMARK_NAMES, ("dp", "mp")
+    dc = _cells(DC, networks, strategies)
+    mc_b = _cells(MC_B, networks, strategies)
+    dc_dp = _cells(DC, networks, ("dp",))
+    dc_mp = _cells(DC, networks, ("mp",))
+    return [
+        ratio_at_least(
+            name="overall-speedup-near-2.8x",
+            metric="iteration_time", numerators=dc,
+            denominators=mc_b, threshold=2.0, at_most=3.8,
+            aggregate="hmean"),
+        ratio_dominates(
+            name="dp-gains-exceed-mp", metric="iteration_time",
+            numerators_a=dc_dp,
+            denominators_a=_cells(MC_B, networks, ("dp",)),
+            numerators_b=dc_mp,
+            denominators_b=_cells(MC_B, networks, ("mp",)),
+            factor=1.0, strict=True),
+        ratio_at_least(
+            name="mp-speedup-above-1.5x", metric="iteration_time",
+            numerators=dc_mp,
+            denominators=_cells(MC_B, networks, ("mp",)),
+            threshold=1.5, aggregate="hmean"),
+        ratio_dominates(
+            name="mc-beats-hc", metric="iteration_time",
+            numerators_a=dc, denominators_a=mc_b,
+            numerators_b=dc,
+            denominators_b=_cells(HC, networks, strategies),
+            factor=1.0, strict=True),
+        ratio_at_least(
+            name="hc-helps-data-parallel", metric="iteration_time",
+            numerators=dc_dp,
+            denominators=_cells(HC, networks, ("dp",)),
+            threshold=1.0, aggregate="hmean", strict=True),
+        ratio_dominates(
+            name="local-within-reach-of-bw-aware",
+            metric="iteration_time",
+            numerators_a=dc,
+            denominators_a=_cells(MC_L, networks, strategies),
+            numerators_b=dc, denominators_b=mc_b,
+            factor=0.85, at_most=1.0),
+        ratio_at_least(
+            name="mc-b-within-reach-of-oracle",
+            metric="iteration_time",
+            numerators=_cells(ORACLE, networks, strategies),
+            denominators=mc_b, threshold=0.8, aggregate="hmean"),
+        ratio_at_least(
+            name="mc-b-near-oracle-somewhere",
+            metric="iteration_time",
+            numerators=_cells(ORACLE, networks, strategies),
+            denominators=mc_b, threshold=0.95, aggregate="max"),
+        at_least(
+            name="dc-vmem-bound-most-cells",
+            metric="breakdown.vmem_share",
+            scenarios=_cells(DC, networks, strategies),
+            bound=0.5, min_count=10),
+        at_most(
+            name="cnn-capacity-wall",
+            metric="fits_in_device_memory",
+            scenarios=tuple(_cell(DC, network, "dp")
+                            for network in ("VGG-E", "ResNet",
+                                            "GoogLeNet")),
+            bound=0.0),
+    ]
+
+
+def ordering_claims() -> list[Claim]:
+    """The MC interconnect/placement ordering, per strategy."""
+    networks = BENCHMARK_NAMES
+    claims: list[Claim] = []
+    for strat in ("dp", "mp"):
+        dc = _cells(DC, networks, (strat,))
+        for better, worse in ((MC_B, MC_L), (MC_L, MC_S)):
+            claims.append(ratio_dominates(
+                name=f"{better}-beats-{worse}/{strat}",
+                metric="iteration_time",
+                numerators_a=dc,
+                denominators_a=_cells(better, networks, (strat,)),
+                numerators_b=dc,
+                denominators_b=_cells(worse, networks, (strat,)),
+                factor=1.0, strict=True))
+    return claims
+
+
+# ---------------------------------------------------------------------
+# Cluster scheduling (equal pool capacity, PR 4)
+# ---------------------------------------------------------------------
+
+def cluster_scenarios() -> list[Scenario]:
+    return [
+        Scenario(name=f"{design}/fleet", system=DesignSpec(design),
+                 fleet=FleetSpec(policy="fifo", job_mix="balanced",
+                                 n_jobs=20, seed=0, arrival_rate=0.05,
+                                 fleet_devices=16,
+                                 pool_capacity=1 * TB))
+        for design in (DC, MC_S, MC_L, MC_B)
+    ]
+
+
+def cluster_claims() -> list[Claim]:
+    return [
+        ratio_at_least(
+            name="mc-jct-p95-dominance", metric="cluster.jct_p95",
+            numerators=(f"{DC}/fleet",),
+            denominators=(f"{MC_S}/fleet", f"{MC_L}/fleet",
+                          f"{MC_B}/fleet"),
+            threshold=4.0, aggregate="min"),
+    ]
+
+
+# ---------------------------------------------------------------------
+# Serving under load (PR 3): the SLO knee separates the designs
+# ---------------------------------------------------------------------
+
+_SERVE_RATE = 1600.0
+
+
+def serving_scenarios() -> list[Scenario]:
+    return [
+        Scenario(name=f"{design}/GPT2/serve",
+                 system=DesignSpec(design),
+                 workload=WorkloadSpec(network="GPT2"),
+                 traffic=TrafficSpec(rate=_SERVE_RATE))
+        for design in (DC, MC_B)
+    ]
+
+
+def serving_claims() -> list[Claim]:
+    return [
+        ratio_at_least(
+            name="serving-goodput-separation",
+            metric="serving.goodput",
+            numerators=(f"{MC_B}/GPT2/serve",),
+            denominators=(f"{DC}/GPT2/serve",), threshold=10.0),
+        at_least(
+            name="mc-above-slo-knee", metric="serving.slo_attainment",
+            scenarios=(f"{MC_B}/GPT2/serve",), bound=0.99),
+        at_most(
+            name="dc-below-slo-knee", metric="serving.slo_attainment",
+            scenarios=(f"{DC}/GPT2/serve",), bound=0.2),
+    ]
+
+
+# ---------------------------------------------------------------------
+# Pipeline schedules (PR 2): bubbles shrink with memory-centric vmem
+# ---------------------------------------------------------------------
+
+def pipeline_scenarios() -> list[Scenario]:
+    return [
+        Scenario(name=f"{design}/GPT2/pp-{schedule}",
+                 system=DesignSpec(design),
+                 workload=WorkloadSpec(network="GPT2", batch=64,
+                                       strategy="pipeline",
+                                       microbatches=8,
+                                       schedule=schedule))
+        for design in (DC, MC_B)
+        for schedule in ("gpipe", "1f1b")
+    ]
+
+
+def pipeline_claims() -> list[Claim]:
+    return [
+        dominates(
+            name="1f1b-beats-gpipe", metric="pipeline.bubble_time",
+            winners=(f"{DC}/GPT2/pp-1f1b", f"{MC_B}/GPT2/pp-1f1b"),
+            losers=(f"{DC}/GPT2/pp-gpipe", f"{MC_B}/GPT2/pp-gpipe"),
+            sense="min"),
+        ratio_at_least(
+            name="mc-shrinks-pipeline-bubble",
+            metric="pipeline.bubble_time",
+            numerators=(f"{DC}/GPT2/pp-gpipe", f"{DC}/GPT2/pp-1f1b"),
+            denominators=(f"{MC_B}/GPT2/pp-gpipe",
+                          f"{MC_B}/GPT2/pp-1f1b"),
+            threshold=3.0, aggregate="min"),
+        at_least(
+            name="dc-pipeline-mostly-bubble",
+            metric="pipeline.bubble_fraction",
+            scenarios=(f"{DC}/GPT2/pp-gpipe", f"{DC}/GPT2/pp-1f1b"),
+            bound=0.8),
+        at_most(
+            name="mc-pipeline-mostly-busy",
+            metric="pipeline.bubble_fraction",
+            scenarios=(f"{MC_B}/GPT2/pp-gpipe",
+                       f"{MC_B}/GPT2/pp-1f1b"),
+            bound=0.7),
+    ]
+
+
+# ---------------------------------------------------------------------
+# Prefetch policies (PR 5): the clairvoyant oracle dominates
+# ---------------------------------------------------------------------
+
+_PF_POLICIES = ("on-demand", "stride", "cost-model", "clairvoyant")
+
+
+def prefetch_scenarios() -> list[Scenario]:
+    return [
+        Scenario(name=f"{MC_B}/VGG-E/pf-{policy}",
+                 system=DesignSpec(MC_B),
+                 workload=WorkloadSpec(network="VGG-E"),
+                 prefetch_policy=policy)
+        for policy in _PF_POLICIES
+    ]
+
+
+def prefetch_claims() -> list[Claim]:
+    clairvoyant = f"{MC_B}/VGG-E/pf-clairvoyant"
+    others = tuple(f"{MC_B}/VGG-E/pf-{policy}"
+                   for policy in _PF_POLICIES[:-1])
+    return [
+        dominates(
+            name="clairvoyant-prefetch-dominates",
+            metric="prefetch.stall_seconds",
+            winners=(clairvoyant,), losers=others, sense="min"),
+        ratio_at_least(
+            name="prefetch-pays", metric="prefetch.stall_seconds",
+            numerators=(f"{MC_B}/VGG-E/pf-on-demand",),
+            denominators=(clairvoyant,), threshold=10.0),
+    ]
+
+
+# ---------------------------------------------------------------------
+# Fault injection (PR 8): graceful degradation floors
+# ---------------------------------------------------------------------
+
+_FAULTS = ("flaky-link", "degraded-link", "straggler", "node-loss",
+           "storm")
+
+
+def fault_scenarios() -> list[Scenario]:
+    scenarios = [
+        Scenario(name=f"{MC_B}/VGG-E/fault-{model}",
+                 system=DesignSpec(MC_B),
+                 workload=WorkloadSpec(network="VGG-E"),
+                 fault_model=model)
+        for model in _FAULTS
+    ]
+    scenarios.append(Scenario(
+        name=f"{DC}/VGG-E/fault-degraded-link",
+        system=DesignSpec(DC),
+        workload=WorkloadSpec(network="VGG-E"),
+        fault_model="degraded-link"))
+    return scenarios
+
+
+def fault_claims() -> list[Claim]:
+    mc_faults = tuple(f"{MC_B}/VGG-E/fault-{model}"
+                      for model in _FAULTS)
+    return [
+        at_least(
+            name="availability-floors", metric="faults.availability",
+            scenarios=mc_faults, bound=0.6),
+        at_most(
+            name="bounded-fault-slowdown", metric="faults.slowdown",
+            scenarios=mc_faults, bound=2.5),
+        dominates(
+            name="mc-degrades-more-gracefully",
+            metric="faults.availability",
+            winners=(f"{MC_B}/VGG-E/fault-degraded-link",),
+            losers=(f"{DC}/VGG-E/fault-degraded-link",),
+            sense="max"),
+    ]
+
+
+# ---------------------------------------------------------------------
+# Frontier: DSL-only axes (no CLI flag reaches these)
+# ---------------------------------------------------------------------
+
+_PIM_FRACTIONS = (0.0, 0.25, 0.5)
+_HETERO_MIXES = (
+    ("volta", (("Volta", 8),)),
+    ("mixed", (("Pascal", 4), ("Volta", 4))),
+    ("pascal", (("Pascal", 8),)),
+)
+
+
+def frontier_scenarios() -> list[Scenario]:
+    scenarios = [
+        Scenario(name=f"{MC_B}/VGG-E/pim{fraction:g}",
+                 system=DesignSpec(MC_B, pim_fraction=fraction),
+                 workload=WorkloadSpec(network="VGG-E"))
+        for fraction in _PIM_FRACTIONS
+    ]
+    scenarios += [
+        Scenario(name=f"{MC_B}/VGG-E/fleet-{label}",
+                 system=DesignSpec(MC_B, device_mix=mix),
+                 workload=WorkloadSpec(network="VGG-E"))
+        for label, mix in _HETERO_MIXES
+    ]
+    return scenarios
+
+
+def frontier_claims() -> list[Claim]:
+    pim = tuple(f"{MC_B}/VGG-E/pim{fraction:g}"
+                for fraction in _PIM_FRACTIONS)
+    fleets = tuple(f"{MC_B}/VGG-E/fleet-{label}"
+                   for label, _ in _HETERO_MIXES)
+    return [
+        monotone_in(
+            name="pim-offload-never-hurts", metric="iteration_time",
+            scenarios=pim, direction="non-increasing", strict=True),
+        ratio_at_least(
+            name="pim-pays", metric="iteration_time",
+            numerators=(pim[0],), denominators=(pim[-1],),
+            threshold=1.05),
+        monotone_in(
+            name="hetero-worst-member-gates",
+            metric="iteration_time", scenarios=fleets,
+            direction="non-decreasing"),
+        ratio_at_least(
+            name="hetero-generation-gap", metric="iteration_time",
+            numerators=(fleets[-1],), denominators=(fleets[0],),
+            threshold=2.0),
+    ]
+
+
+# ---------------------------------------------------------------------
+# The shipped suites
+# ---------------------------------------------------------------------
+
+def paper_training_suite() -> ClaimSuite:
+    """The 96-cell evaluation grid alone (the integration tests'
+    dogfood surface)."""
+    return ClaimSuite(
+        name="paper-training",
+        scenarios=tuple(training_scenarios()),
+        claims=tuple(headline_claims() + ordering_claims()
+                     + training_claims()))
+
+
+def paper_suite(quick: bool = False) -> ClaimSuite:
+    """Every shipped claim; ``quick`` slices the evaluation grid down
+    to one workload (and drops the grid-wide mean claims)."""
+    if quick:
+        networks, strategies = ("AlexNet",), ("dp",)
+        scenarios = training_scenarios(networks, strategies)
+        claims = training_claims(networks, strategies)
+    else:
+        scenarios = training_scenarios()
+        claims = (headline_claims() + ordering_claims()
+                  + training_claims())
+    scenarios += (cluster_scenarios() + serving_scenarios()
+                  + pipeline_scenarios() + prefetch_scenarios()
+                  + fault_scenarios() + frontier_scenarios())
+    claims += (cluster_claims() + serving_claims()
+               + pipeline_claims() + prefetch_claims()
+               + fault_claims() + frontier_claims())
+    return ClaimSuite(
+        name="paper-claims-quick" if quick else "paper-claims",
+        scenarios=tuple(scenarios), claims=tuple(claims))

@@ -1,0 +1,98 @@
+"""Execute claim suites through the campaign engine.
+
+:func:`run_suite` lowers every scenario to a campaign point, fans the
+cells out through :func:`repro.campaign.runner.run_campaign` (same
+process pool, same content-addressed cache as CLI campaigns), then
+evaluates the suite's claims against the per-scenario results.  A
+scenario that fails to simulate does not abort the run: every claim
+binding it reports ERROR with the cell's error text, and unrelated
+claims still evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import ProgressFn, run_campaign
+from repro.core.metrics import SimulationResult
+from repro.scenarios.claims import Claim, evaluate_claims
+from repro.scenarios.dsl import Scenario
+from repro.scenarios.lowering import lower_scenario, scenario_design_point
+from repro.scenarios.verdict import SuiteReport
+
+
+class ScenarioExecutionError(RuntimeError):
+    """A claim bound a scenario whose cell failed (or is unknown)."""
+
+
+@dataclass(frozen=True)
+class ClaimSuite:
+    """Named scenarios plus the claims that bind them."""
+
+    name: str
+    scenarios: tuple[Scenario, ...]
+    claims: tuple[Claim, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "claims", tuple(self.claims))
+        names = [s.name for s in self.scenarios]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"suite {self.name!r}: duplicate "
+                             f"scenario name(s): {', '.join(sorted(dupes))}")
+        claim_names = [c.name for c in self.claims]
+        dupes = {n for n in claim_names if claim_names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"suite {self.name!r}: duplicate "
+                             f"claim name(s): {', '.join(sorted(dupes))}")
+        known = set(names)
+        for claim in self.claims:
+            missing = sorted(set(claim.scenario_names()) - known)
+            if missing:
+                raise ValueError(
+                    f"suite {self.name!r}: claim {claim.name!r} "
+                    f"binds undeclared scenario(s): "
+                    f"{', '.join(missing)}")
+
+    def scenario(self, name: str) -> Scenario:
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        raise KeyError(f"no scenario named {name!r}")
+
+
+def run_suite(suite: ClaimSuite, *, jobs: int = 1,
+              cache: ResultCache | None = None,
+              progress: ProgressFn | None = None) -> SuiteReport:
+    """Simulate every scenario and evaluate every claim."""
+    points = [lower_scenario(s) for s in suite.scenarios]
+    report = run_campaign(points, jobs=jobs, cache=cache,
+                          factory=scenario_design_point,
+                          progress=progress)
+    results: dict[str, SimulationResult] = {}
+    errors: dict[str, str] = {}
+    for scenario, outcome in zip(suite.scenarios, report.outcomes):
+        if outcome.ok:
+            results[scenario.name] = outcome.result
+        else:
+            errors[scenario.name] = outcome.error or "unknown error"
+
+    def lookup(name: str) -> SimulationResult:
+        if name in errors:
+            raise ScenarioExecutionError(
+                f"scenario {name!r} failed: {errors[name]}")
+        try:
+            return results[name]
+        except KeyError:
+            raise ScenarioExecutionError(
+                f"unknown scenario {name!r}") from None
+
+    verdicts = evaluate_claims(suite.claims, lookup)
+    fingerprints = tuple((s.name, s.fingerprint())
+                         for s in suite.scenarios)
+    return SuiteReport(
+        suite=suite.name, verdicts=verdicts,
+        fingerprints=fingerprints, n_cells=len(points),
+        cached=report.cached_count)

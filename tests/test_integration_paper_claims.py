@@ -1,142 +1,50 @@
 """Integration tests: the paper's headline claims, end to end.
 
-These run the full stack (workload -> partition -> migration plan ->
-schedule -> timeline) and check the *shape* of the paper's results:
-who wins, by roughly what factor, and where the crossovers fall.
+Ported onto the claims engine (dogfooding): the evaluation-grid
+assertions now live in :func:`repro.scenarios.paper.paper_training_suite`
+as executable claims, and this module just runs the suite and asserts
+every verdict is PASS.  One parametrized test per claim keeps failures
+as granular as the old hand-rolled asserts, and each failure message
+carries the measured statistic, the claimed relation, the margin, and
+the worst offending cell -- strictly more informative than a bare
+``assert a > b``.
 """
 
 import pytest
 
-from repro.core.design_points import DESIGN_ORDER, design_point
-from repro.core.simulator import simulate
-from repro.dnn.registry import BENCHMARK_NAMES, CNN_NAMES
-from repro.training.parallel import ParallelStrategy
-from repro.units import harmonic_mean
+from repro.scenarios.paper import paper_training_suite
+from repro.scenarios.runner import run_suite
+from repro.scenarios.verdict import Status, render_text
 
 pytestmark = pytest.mark.integration
 
+_SUITE = paper_training_suite()
+
 
 @pytest.fixture(scope="module")
-def grid():
-    configs = {name: design_point(name) for name in DESIGN_ORDER}
-    results = {}
-    for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-        for network in BENCHMARK_NAMES:
-            for name, config in configs.items():
-                results[(name, network, strategy)] = simulate(
-                    config, network, 512, strategy)
-    return results
+def report():
+    return run_suite(_SUITE)
 
 
-def speedups(grid, design, strategy, networks=BENCHMARK_NAMES):
-    return [grid[("DC-DLA", n, strategy)].iteration_time
-            / grid[(design, n, strategy)].iteration_time
-            for n in networks]
+@pytest.mark.parametrize("claim",
+                         [claim.name for claim in _SUITE.claims])
+def test_claim_passes(report, claim):
+    verdict = report.verdict(claim)
+    assert verdict.status is Status.PASS, (
+        f"{verdict.claim}: {verdict.status.value} "
+        f"(measured {verdict.measured!r}, expected "
+        f"{verdict.expected}, margin {verdict.margin!r}"
+        f"{'; ' + verdict.detail if verdict.detail else ''})")
 
 
-class TestHeadlineSpeedups:
-    def test_overall_mean_near_2_8x(self, grid):
-        pooled = []
-        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-            pooled.extend(speedups(grid, "MC-DLA(B)", strategy))
-        mean = harmonic_mean(pooled)
-        assert 2.0 < mean < 3.8  # paper: 2.8x
-
-    def test_data_parallel_gains_exceed_model_parallel(self, grid):
-        dp = harmonic_mean(speedups(grid, "MC-DLA(B)",
-                                    ParallelStrategy.DATA))
-        mp = harmonic_mean(speedups(grid, "MC-DLA(B)",
-                                    ParallelStrategy.MODEL))
-        assert dp > mp > 1.5  # paper: 3.5x vs 2.1x
-
-    def test_every_workload_benefits(self, grid):
-        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-            for s in speedups(grid, "MC-DLA(B)", strategy):
-                assert s > 1.4
-
-    def test_hc_dla_helps_on_average_but_less(self, grid):
-        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-            hc = harmonic_mean(speedups(grid, "HC-DLA", strategy))
-            mc = harmonic_mean(speedups(grid, "MC-DLA(B)", strategy))
-            assert mc > hc
-        assert harmonic_mean(
-            speedups(grid, "HC-DLA", ParallelStrategy.DATA)) > 1.0
+def test_whole_grid_passes(report):
+    # Belt and braces: the rendered verdict table names any claim the
+    # parametrization above would also catch, and guards against a
+    # suite whose claim list shrank by accident.
+    assert len(report.verdicts) >= 20
+    assert report.ok, "\n" + render_text(report)
 
 
-class TestDesignOrdering:
-    def test_bw_aware_beats_local_beats_star(self, grid):
-        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-            b = harmonic_mean(speedups(grid, "MC-DLA(B)", strategy))
-            l = harmonic_mean(speedups(grid, "MC-DLA(L)", strategy))
-            s = harmonic_mean(speedups(grid, "MC-DLA(S)", strategy))
-            assert b > l > s
-
-    def test_local_close_to_bw_aware(self, grid):
-        # Paper: MC-DLA(L) reaches ~96% of MC-DLA(B).
-        pooled_b, pooled_l = [], []
-        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-            pooled_b.extend(speedups(grid, "MC-DLA(B)", strategy))
-            pooled_l.extend(speedups(grid, "MC-DLA(L)", strategy))
-        ratio = harmonic_mean(pooled_l) / harmonic_mean(pooled_b)
-        assert 0.85 < ratio < 1.0
-
-    def test_oracle_bounds_everything(self, grid):
-        for (design, network, strategy), result in grid.items():
-            oracle = grid[("DC-DLA(O)", network, strategy)]
-            assert result.iteration_time \
-                >= oracle.iteration_time - 1e-12
-
-    def test_mc_dla_b_within_reach_of_oracle(self, grid):
-        fracs = []
-        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-            for network in BENCHMARK_NAMES:
-                mc = grid[("MC-DLA(B)", network, strategy)]
-                oracle = grid[("DC-DLA(O)", network, strategy)]
-                fracs.append(oracle.iteration_time / mc.iteration_time)
-        assert harmonic_mean(fracs) > 0.8  # paper: 95% average
-        assert max(fracs) > 0.95
-
-
-class TestBottleneckStructure:
-    def test_dc_dla_is_vmem_bound_on_most_workloads(self, grid):
-        vmem_bound = 0
-        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-            for network in BENCHMARK_NAMES:
-                b = grid[("DC-DLA", network, strategy)].breakdown
-                if b.vmem > b.compute + b.sync:
-                    vmem_bound += 1
-        assert vmem_bound >= 10  # paper: 14 of 16
-
-    def test_dc_dla_has_cheapest_sync(self, grid):
-        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-            for network in BENCHMARK_NAMES:
-                dc = grid[("DC-DLA", network, strategy)].breakdown.sync
-                for design in ("HC-DLA", "MC-DLA(S)", "MC-DLA(B)"):
-                    other = grid[(design, network,
-                                  strategy)].breakdown.sync
-                    assert dc <= other + 1e-12
-
-    def test_mc_dla_never_touches_host_memory(self, grid):
-        for design in ("MC-DLA(S)", "MC-DLA(L)", "MC-DLA(B)",
-                       "DC-DLA(O)"):
-            for strategy in (ParallelStrategy.DATA,
-                             ParallelStrategy.MODEL):
-                for network in BENCHMARK_NAMES:
-                    r = grid[(design, network, strategy)]
-                    assert r.host_traffic_bytes_per_device == 0
-
-    def test_cnn_footprints_exceed_device_memory(self, grid):
-        # The capacity wall that motivates virtualization (Section II).
-        for network in ("VGG-E", "ResNet", "GoogLeNet"):
-            r = grid[("DC-DLA", network, ParallelStrategy.DATA)]
-            assert not r.fits_in_device_memory
-
-    def test_byte_conservation_across_designs(self, grid):
-        # Offloaded bytes depend on the workload, not on the design.
-        for strategy in (ParallelStrategy.DATA, ParallelStrategy.MODEL):
-            for network in CNN_NAMES:
-                sizes = {grid[(d, network, strategy)]
-                         .offload_bytes_per_device
-                         for d in ("DC-DLA", "HC-DLA", "MC-DLA(S)",
-                                   "MC-DLA(L)", "MC-DLA(B)")}
-                assert len(sizes) == 1
+def test_grid_covers_the_paper_matrix(report):
+    # 6 designs x 8 workloads x 2 strategies, simulated once each.
+    assert report.n_cells == 96

@@ -1,0 +1,196 @@
+"""Integration tests: suite execution, renderings, CLI, and cache.
+
+Small two-cell suites keep the unit-level assertions fast; the golden
+snapshot and the cross-process cache test run the shipped quick suite
+(the same slice CI smokes via ``python -m repro claims --quick``).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.claims import at_least, ratio_at_least
+from repro.scenarios.cli import main as claims_cli
+from repro.scenarios.dsl import DesignSpec, Scenario, WorkloadSpec
+from repro.scenarios.paper import paper_suite
+from repro.scenarios.runner import ClaimSuite, run_suite
+from repro.scenarios.verdict import (Status, render_csv, render_json,
+                                     render_text)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _scenario(name, design="mc-hbm", **kwargs):
+    return Scenario(name=name, system=DesignSpec(design, **kwargs),
+                    workload=WorkloadSpec(network="AlexNet"))
+
+
+def _tiny_suite():
+    return ClaimSuite(
+        name="tiny",
+        scenarios=(_scenario("dc", "dc"), _scenario("mc")),
+        claims=(
+            ratio_at_least("mc-wins", "iteration_time",
+                           numerators=("dc",), denominators=("mc",),
+                           threshold=1.0, strict=True),
+            at_least("impossible", "iteration_time",
+                     scenarios=("dc",), bound=1e9),
+        ))
+
+
+def _failing_factory(quick=False):
+    """A suite whose single claim can never hold (CI exit-code probe)."""
+    return ClaimSuite(
+        name="doomed", scenarios=(_scenario("mc"),),
+        claims=(at_least("impossible", "iteration_time",
+                         scenarios=("mc",), bound=1e9),))
+
+
+class TestRunSuite:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_suite(_tiny_suite())
+
+    def test_verdicts_in_claim_order(self, report):
+        assert [v.claim for v in report.verdicts] \
+            == ["mc-wins", "impossible"]
+        assert report.verdict("mc-wins").status is Status.PASS
+        assert report.verdict("impossible").status is Status.FAIL
+        assert not report.ok
+        assert report.counts == {"PASS": 1, "FAIL": 1, "ERROR": 0}
+
+    def test_fingerprints_cover_every_scenario(self, report):
+        names = [name for name, _ in report.fingerprints]
+        assert names == ["dc", "mc"]
+        assert all(len(fp) == 64 for _, fp in report.fingerprints)
+        assert report.n_cells == 2
+
+    def test_renderings_agree_on_verdicts(self, report):
+        text = render_text(report)
+        assert "mc-wins" in text and "FAIL" in text
+        assert report.summary() in text
+        rows = render_csv(report).strip().splitlines()
+        assert rows[0].startswith("claim,status,")
+        assert len(rows) == 3
+        payload = json.loads(render_json(report))
+        assert payload["counts"] == report.counts
+        assert set(payload["scenarios"]) == {"dc", "mc"}
+
+    def test_failed_cell_errors_its_claims_only(self):
+        # The bogus factory kwarg kills one cell; the claim that binds
+        # it reports ERROR while the healthy cell's claim still PASSes.
+        suite = ClaimSuite(
+            name="half-broken",
+            scenarios=(_scenario("ok"),
+                       _scenario("broken",
+                                 overrides=(("bogus_kwarg", 1),))),
+            claims=(
+                at_least("healthy", "iteration_time",
+                         scenarios=("ok",), bound=0.0),
+                at_least("doomed", "iteration_time",
+                         scenarios=("broken",), bound=0.0),
+            ))
+        report = run_suite(suite)
+        assert report.verdict("healthy").status is Status.PASS
+        doomed = report.verdict("doomed")
+        assert doomed.status is Status.ERROR
+        assert "'broken' failed" in doomed.detail
+
+
+class TestSuiteValidation:
+    def test_duplicate_scenarios(self):
+        with pytest.raises(ValueError, match="duplicate scenario"):
+            ClaimSuite(name="s",
+                       scenarios=(_scenario("a"), _scenario("a")),
+                       claims=())
+
+    def test_duplicate_claims(self):
+        claim = at_least("c", "iteration_time", scenarios=("a",),
+                         bound=0.0)
+        with pytest.raises(ValueError, match="duplicate claim"):
+            ClaimSuite(name="s", scenarios=(_scenario("a"),),
+                       claims=(claim, claim))
+
+    def test_undeclared_scenario(self):
+        claim = at_least("c", "iteration_time",
+                         scenarios=("a", "ghost"), bound=0.0)
+        with pytest.raises(ValueError, match="ghost"):
+            ClaimSuite(name="s", scenarios=(_scenario("a"),),
+                       claims=(claim,))
+
+
+class TestGolden:
+    def test_quick_suite_scalars(self, golden):
+        report = run_suite(paper_suite(quick=True))
+        golden.check("claims", report.scalars())
+
+
+class TestCli:
+    def test_failing_claim_exits_nonzero(self, tmp_path, capsys):
+        out = tmp_path / "verdicts.json"
+        rc = claims_cli(["--no-cache", "--format", "json",
+                         "-o", str(out)],
+                        suite_factory=_failing_factory)
+        assert rc == 1
+        payload = json.loads(out.read_text())
+        assert payload["counts"]["FAIL"] == 1
+        assert "1 FAIL" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_2(self, capsys):
+        assert claims_cli(["--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_list_prints_fingerprints(self, capsys):
+        rc = claims_cli(["--quick", "--list"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = captured.out.strip().splitlines()
+        suite = paper_suite(quick=True)
+        assert len(lines) == len(suite.scenarios)
+        fingerprint, name = lines[0].split(maxsplit=1)
+        assert suite.scenario(name).fingerprint() == fingerprint
+
+    def test_cache_round_trip_in_process(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["--format", "csv", "--cache-dir", str(cache_dir)]
+        rc = claims_cli(argv, suite_factory=_failing_factory)
+        cold = capsys.readouterr()
+        rc2 = claims_cli(argv, suite_factory=_failing_factory)
+        warm = capsys.readouterr()
+        assert rc == rc2 == 1
+        assert "0 cached" in cold.err
+        assert "1 cached" in warm.err
+        assert cold.out == warm.out
+
+
+@pytest.mark.integration
+class TestCrossProcessCache:
+    """Scenario-lowered cells replay byte-identically from the shared
+    campaign cache across fresh interpreter processes (acceptance
+    criterion: two cold runs, one cache, byte-identical JSON)."""
+
+    def _run(self, cache_dir: Path, out: Path) -> str:
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "claims", "--quick",
+             "--format", "json", "--cache-dir", str(cache_dir),
+             "-o", str(out)],
+            capture_output=True, text=True, timeout=600,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"})
+        assert result.returncode == 0, result.stderr
+        return result.stderr
+
+    def test_replay_is_byte_identical(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first_out = tmp_path / "first.json"
+        second_out = tmp_path / "second.json"
+        first_log = self._run(cache_dir, first_out)
+        assert "0 cached" in first_log
+        second_log = self._run(cache_dir, second_out)
+        assert "0 cached" not in second_log
+        assert first_out.read_bytes() == second_out.read_bytes()
+        payload = json.loads(first_out.read_text())
+        assert payload["counts"]["FAIL"] == 0
+        assert payload["counts"]["ERROR"] == 0
