@@ -306,6 +306,14 @@ def _trace_main(argv: list[str]) -> int:
     parser.add_argument("--strategy", choices=sorted(strategies),
                         default="data",
                         help="parallelization strategy (default: data)")
+    parser.add_argument("--pipeline-schedule", default="1f1b",
+                        help="microbatch schedule for --strategy "
+                             "pipeline: gpipe, 1f1b, zb-h1, "
+                             "interleaved, zb-auto; aliases accepted "
+                             "(default: 1f1b)")
+    parser.add_argument("--microbatches", type=int, default=None,
+                        help="microbatches per pipeline iteration "
+                             "(default: the design point's)")
     parser.add_argument("--cluster", action="store_true",
                         help="trace a cluster run instead: one row "
                              "per job with queued/running/preempted "
@@ -333,15 +341,26 @@ def _trace_main(argv: list[str]) -> int:
                              "design/network/strategy)")
     args = parser.parse_args(argv)
 
+    from repro.naming import resolve_schedule
+
     try:
         design = resolve_design(args.design)
         network = (resolve_network(args.network)
                    if args.network is not None else None)
+        schedule = resolve_schedule(args.pipeline_schedule)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
 
     config = design_point(design)
+    replacements = {}
+    if schedule != config.pipeline_schedule:
+        replacements["pipeline_schedule"] = schedule
+    if args.microbatches is not None:
+        replacements["pipeline_microbatches"] = args.microbatches
+    if replacements:
+        import dataclasses
+        config = dataclasses.replace(config, **replacements)
 
     if args.cluster:
         from repro.cluster.jobs import generate_jobs

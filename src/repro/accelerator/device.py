@@ -54,6 +54,22 @@ class DeviceSpec:
         return self.op_time(layer.bwd_gemms(batch),
                             layer.fwd_stream_bytes(batch))
 
+    def layer_bwd_split_time(self, layer: Layer,
+                             batch: int) -> tuple[float, float]:
+        """(activation-grad, weight-grad) split of the backward pass.
+
+        ``bwd_gemms`` interleaves (dX, dW) pairs per forward GEMM:
+        even indices propagate the activation gradient (the B op on a
+        zero-bubble schedule's critical path), odd indices produce the
+        weight gradient (the deferrable W op).  Streaming, GEMM-less
+        backward passes have no weight-grad component to defer.
+        """
+        gemms = layer.bwd_gemms(batch)
+        if gemms:
+            return (self.op_time(gemms[0::2], 0),
+                    self.op_time(gemms[1::2], 0))
+        return self.op_time((), layer.fwd_stream_bytes(batch)), 0.0
+
     def op_time(self, gemms, stream_bytes: int) -> float:
         """Time one kernel: a GEMM sequence, or a streaming pass."""
         if gemms:

@@ -32,6 +32,8 @@ from repro.core.design_points import DESIGN_ORDER
 from repro.dnn.registry import (BENCHMARK_NAMES, TRANSFORMER_NAMES,
                                 WORKLOAD_NAMES)
 from repro.faults.model import FAULT_MODEL_ORDER
+from repro.naming import resolve_schedule
+from repro.pipeline.schedules import SCHEDULE_ORDER
 from repro.telemetry.session import (TelemetrySession,
                                      add_telemetry_argument, eta_seconds)
 from repro.training.parallel import ParallelStrategy
@@ -103,7 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--pipeline-schedules", default="1f1b",
         help="comma-separated microbatch schedules for pipeline cells: "
-             "1f1b, gpipe (default: 1f1b)")
+             "1f1b, gpipe, zb-h1, interleaved, zb-auto "
+             "(default: 1f1b)")
     parser.add_argument(
         "--microbatches", type=int, default=8,
         help="microbatches per pipeline iteration (default: 8)")
@@ -371,12 +374,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown network(s): {', '.join(bad)}; "
               f"known: {', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
         return 2
-    schedules = _split(args.pipeline_schedules)
-    bad_schedules = [s for s in schedules if s not in ("1f1b", "gpipe")]
+    resolved_schedules = []
+    bad_schedules = []
+    for raw in _split(args.pipeline_schedules):
+        try:
+            resolved_schedules.append(resolve_schedule(raw))
+        except KeyError:
+            bad_schedules.append(raw)
     if bad_schedules:
         print(f"unknown schedule(s): {', '.join(bad_schedules)}; "
-              f"known: 1f1b, gpipe", file=sys.stderr)
+              f"known: {', '.join(SCHEDULE_ORDER)}", file=sys.stderr)
         return 2
+    schedules = list(dict.fromkeys(resolved_schedules))
     policies = _split(args.prefetch_policies)
     bad_policies = [p for p in policies
                     if p not in PREFETCH_POLICY_ORDER]

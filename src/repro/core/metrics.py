@@ -159,11 +159,17 @@ class PipelineStats:
     #: Peak microbatches in flight per stage (the activation stash
     #: depth: M under fill-drain, at most P-s under 1F1B).
     stage_max_in_flight: tuple[int, ...]
+    #: Deferred weight-grad (W) seconds per stage over the iteration;
+    #: empty on schedules that keep the backward undifferentiated
+    #: (then W time is folded into ``stage_compute`` backwards).
+    stage_wgrad: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         counts = {len(self.stage_compute), len(self.stage_bubble),
                   len(self.stage_offload_bytes),
                   len(self.stage_max_in_flight)}
+        if self.stage_wgrad:
+            counts.add(len(self.stage_wgrad))
         if counts != {self.n_stages}:
             raise ValueError("per-stage tuples must match n_stages")
         if min(self.stage_bubble) < -1e-9:
@@ -185,8 +191,24 @@ class PipelineStats:
         total = self.bubble_time + sum(self.stage_compute)
         return self.bubble_time / total if total > 0 else 0.0
 
+    @property
+    def wgrad_time(self) -> float:
+        """Total deferred weight-grad seconds summed over stages."""
+        return sum(self.stage_wgrad)
+
+    @property
+    def wgrad_fill_fraction(self) -> float:
+        """Deferred W work relative to the idle it competes with.
+
+        ``wgrad / (wgrad + bubble)``: 0 on undifferentiated schedules,
+        approaching 1 as deferred weight-grad work crowds out the
+        remaining fill/drain idle.
+        """
+        total = self.wgrad_time + self.bubble_time
+        return self.wgrad_time / total if total > 0 else 0.0
+
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "schedule": self.schedule,
             "n_stages": self.n_stages,
             "n_microbatches": self.n_microbatches,
@@ -197,6 +219,11 @@ class PipelineStats:
             "stage_offload_bytes": list(self.stage_offload_bytes),
             "stage_max_in_flight": list(self.stage_max_in_flight),
         }
+        # Emitted only by the B/W-splitting schedules so legacy
+        # snapshots stay byte-identical.
+        if self.stage_wgrad:
+            data["stage_wgrad"] = list(self.stage_wgrad)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "PipelineStats":
@@ -210,6 +237,7 @@ class PipelineStats:
             stage_bubble=tuple(data["stage_bubble"]),
             stage_offload_bytes=tuple(data["stage_offload_bytes"]),
             stage_max_in_flight=tuple(data["stage_max_in_flight"]),
+            stage_wgrad=tuple(data.get("stage_wgrad", ())),
         )
 
 

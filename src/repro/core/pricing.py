@@ -71,6 +71,8 @@ _COLLECTIVE_MODELS: list = []
 #: (device, layer, batch) -> seconds, one dict per direction.
 _LAYER_FWD: dict = {}
 _LAYER_BWD: dict = {}
+#: (device, layer, batch) -> (activation-grad, weight-grad) seconds.
+_LAYER_BWD_SPLIT: dict = {}
 
 #: (SystemConfig, job-class key) -> SimulationResult, shared across
 #: cluster cost-oracle instances (one design is priced once, not once
@@ -81,7 +83,8 @@ _CLUSTER_CELLS: dict = {}
 #: between real series and :data:`NOOP` by the registry activation
 #: hook so the lookup paths never test an enabled flag.
 _MEMO_NAMES = ("partition", "migration", "layer-times", "layer-fwd",
-               "layer-bwd", "collective", "dma", "cluster-cell")
+               "layer-bwd", "layer-bwd-split", "collective", "dma",
+               "cluster-cell")
 _HITS: dict = dict.fromkeys(_MEMO_NAMES, NOOP)
 _MISSES: dict = dict.fromkeys(_MEMO_NAMES, NOOP)
 
@@ -110,6 +113,7 @@ def clear_caches() -> None:
     _COLLECTIVE_MODELS.clear()
     _LAYER_FWD.clear()
     _LAYER_BWD.clear()
+    _LAYER_BWD_SPLIT.clear()
     _CLUSTER_CELLS.clear()
     # The design-point registry memo lives with the factories; imported
     # lazily because design_points sits above this module in the layer
@@ -226,6 +230,26 @@ def layer_bwd_time(device: "DeviceSpec", layer: "Layer",
     else:
         _HITS["layer-bwd"].inc()
     return _LAYER_BWD[key]
+
+
+def layer_bwd_split_time(device: "DeviceSpec", layer: "Layer",
+                         batch: int) -> tuple[float, float]:
+    """Memoized :meth:`DeviceSpec.layer_bwd_split_time`.
+
+    The (activation-grad, weight-grad) pair feeding zero-bubble
+    stage timing; sums to :func:`layer_bwd_time` up to float
+    re-association.
+    """
+    if scalar_core_enabled():
+        return device.layer_bwd_split_time(layer, batch)
+    key = (device, layer, batch)
+    if key not in _LAYER_BWD_SPLIT:
+        _MISSES["layer-bwd-split"].inc()
+        _LAYER_BWD_SPLIT[key] = device.layer_bwd_split_time(layer,
+                                                            batch)
+    else:
+        _HITS["layer-bwd-split"].inc()
+    return _LAYER_BWD_SPLIT[key]
 
 
 def _collective_memo(model: "CollectiveModel") -> dict:

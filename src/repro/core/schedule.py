@@ -386,8 +386,8 @@ def build_inference_ops(plan: InferencePlan, config: SystemConfig,
 
 def build_iteration_ops(plan: IterationPlan, config: SystemConfig,
                         prefetch: PrefetchSchedule | None = None,
-                        pricer: Callable[[int], float] | None = None) \
-        -> OpSink:
+                        pricer: Callable[[int], float] | None = None,
+                        split_wgrad: bool = False) -> OpSink:
     """Emit the iteration's ops in dependency-consistent issue order.
 
     ``prefetch`` carries the active policy's issue plan (computed from
@@ -395,6 +395,13 @@ def build_iteration_ops(plan: IterationPlan, config: SystemConfig,
     baseline reproduces the seed's gate structure and pricing
     byte-for-byte.  Callers that already derived the DMA ``pricer``
     (one O(layers) plan walk) can pass it to avoid recomputing.
+
+    With ``split_wgrad`` each weighted layer's backward is emitted as
+    two ops -- ``bwd:{name}`` (activation grad, what successors and dX
+    reductions wait on) and ``wgrad:{name}`` (weight grad, what dW
+    all-reduces wait on) -- mirroring the zero-bubble pipeline B/W
+    split at single-device granularity.  Off (the default) the op
+    stream is byte-identical to the seed's.
     """
     if pricer is None:
         pricer = iteration_pricer(plan, config)
@@ -509,16 +516,32 @@ def build_iteration_ops(plan: IterationPlan, config: SystemConfig,
                 EngineKind.COMPUTE, times[producer][0],
                 list(prefetch_ids), tag=f"recompute:{producer}"))
 
-        compute = ops.add(EngineKind.COMPUTE, times[name][1],
+        bwd_seconds = times[name][1]
+        wgrad_seconds = 0.0
+        if split_wgrad and part.bwd_gemms:
+            wgrad_seconds = config.device.op_time(
+                part.bwd_gemms[1::2], 0)
+            bwd_seconds = max(0.0, bwd_seconds - wgrad_seconds)
+
+        compute = ops.add(EngineKind.COMPUTE, bwd_seconds,
                           deps + prefetch_ids + recompute_ids,
                           tag=f"bwd:{name}")
         bwd_computes.append(compute)
+        grad_done = compute
+        if wgrad_seconds > 0.0:
+            grad_done = ops.add(EngineKind.COMPUTE, wgrad_seconds,
+                                [compute], tag=f"wgrad:{name}")
 
         if part.bwd_sync is not None:
+            # dX reductions (model parallel) only need the activation
+            # grad; dW all-reduces wait for the weight grad.
+            sync_dep = (compute
+                        if plan.strategy is ParallelStrategy.MODEL
+                        else grad_done)
             sync = ops.add(EngineKind.COMM,
                            collective(part.bwd_sync.primitive,
                                       part.bwd_sync.nbytes),
-                           [compute], tag=f"sync-bwd:{name}",
+                           [sync_dep], tag=f"sync-bwd:{name}",
                            nbytes=part.bwd_sync.nbytes)
             # Model-parallel dX reductions gate the grand-producers'
             # backward pass (pipelined, above); data-parallel dW

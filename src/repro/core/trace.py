@@ -36,7 +36,8 @@ _ENGINE_ROWS = {
 #: ``send-act``/``send-grad``/``bubble`` entries cover the
 #: pipeline-parallel lowering's tags.
 TAG_CATEGORIES: dict[str, str] = {
-    "fwd": "compute", "bwd": "compute", "recompute": "compute",
+    "fwd": "compute", "bwd": "compute", "wgrad": "compute",
+    "recompute": "compute",
     "offload": "migration", "prefetch": "migration",
     "wfetch": "migration", "waste": "migration",
     "sync-fwd": "collective", "sync-bwd": "collective",

@@ -1,14 +1,17 @@
 """Pipeline-parallel comparison study (post-paper extension).
 
 For the transformer workload family, compares every design point under
-four parallelization variants -- data-parallel, model-parallel, and
-pipeline-parallel with the GPipe fill-drain and 1F1B schedules --
-reporting iteration time, pipeline bubble fraction, and per-device
-virtualization traffic.  The headline: fill-drain's ``M``-deep
-activation stash pays a migration round-trip that 1F1B mostly avoids,
-and the gap between the two schedules *shrinks* as the memory system
-gets closer to the devices -- the paper's memory-centric argument,
-replayed on workloads from the transformer era.
+six parallelization variants -- data-parallel, model-parallel, and
+pipeline-parallel with the GPipe fill-drain, 1F1B, ZB-H1 zero-bubble,
+and interleaved virtual-stage schedules -- reporting iteration time,
+pipeline bubble fraction, and per-device virtualization traffic.  Two
+headlines: fill-drain's ``M``-deep activation stash pays a migration
+round-trip that 1F1B mostly avoids, and the gap between the two
+schedules *shrinks* as the memory system gets closer to the devices --
+the paper's memory-centric argument, replayed on workloads from the
+transformer era; on top of that, splitting backward into B/W ops lets
+ZB-H1 fill 1F1B's steady-state bubbles with deferred weight-grad work
+at the same activation-stash bound.
 
 Runs entirely through the campaign engine, so cells fan out across
 worker processes and replay from the shared disk cache.
@@ -26,7 +29,11 @@ from repro.experiments.report import format_table, percent
 from repro.training.parallel import ParallelStrategy
 
 #: Presentation order of the strategy variants.
-VARIANTS = ("data", "model", "pipeline/gpipe", "pipeline/1f1b")
+VARIANTS = ("data", "model", "pipeline/gpipe", "pipeline/1f1b",
+            "pipeline/zb-h1", "pipeline/interleaved")
+
+#: Pipeline schedules the study sweeps (presentation order).
+SCHEDULES = ("gpipe", "1f1b", "zb-h1", "interleaved")
 
 DEFAULT_BATCH = 512
 DEFAULT_MICROBATCHES = 8
@@ -52,6 +59,13 @@ class PipelineComparison:
         one_f = self.result(network, design, "pipeline/1f1b")
         return gpipe.pipeline.bubble_time - one_f.pipeline.bubble_time
 
+    def zero_bubble_gap(self, network: str, design: str) -> float:
+        """1F1B's bubble-time excess over ZB-H1 (seconds) -- what
+        filling the steady-state bubbles with deferred W work buys."""
+        one_f = self.result(network, design, "pipeline/1f1b")
+        zb = self.result(network, design, "pipeline/zb-h1")
+        return one_f.pipeline.bubble_time - zb.pipeline.bubble_time
+
     def best_variant(self, network: str, design: str) -> str:
         """The variant with the highest throughput on a cell."""
         return min(VARIANTS, key=lambda v: self.result(
@@ -64,7 +78,7 @@ def comparison_points(batch: int = DEFAULT_BATCH,
     flat = grid(DESIGN_ORDER, TRANSFORMER_NAMES, (batch,),
                 (ParallelStrategy.DATA, ParallelStrategy.MODEL))
     piped = pipeline_grid(DESIGN_ORDER, TRANSFORMER_NAMES, (batch,),
-                          schedules=("gpipe", "1f1b"),
+                          schedules=SCHEDULES,
                           microbatches=microbatches)
     return flat + piped
 
@@ -120,6 +134,11 @@ def format_pipeline_comparison(study: PipelineComparison) -> str:
         gaps = ", ".join(
             f"{design}: {study.schedule_gap(network, design) * 1e3:.1f}ms"
             for design in DESIGN_ORDER)
+        zb_gaps = ", ".join(
+            f"{design}: "
+            f"{study.zero_bubble_gap(network, design) * 1e3:.1f}ms"
+            for design in DESIGN_ORDER)
         blocks.append(f"{table}\n1F1B bubble savings over fill-drain "
-                      f"({network}): {gaps}")
+                      f"({network}): {gaps}\nZB-H1 bubble savings over "
+                      f"1F1B ({network}): {zb_gaps}")
     return "\n\n".join(blocks)

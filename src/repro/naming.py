@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.design_points import DESIGN_ORDER
 from repro.dnn.registry import WORKLOAD_NAMES
 from repro.faults.model import FAULT_MODEL_ORDER
+from repro.pipeline.schedules import SCHEDULE_ALIASES, SCHEDULE_ORDER
 
 #: Friendly aliases on top of the exact design-point names.
 DESIGN_ALIASES = {
@@ -71,6 +72,17 @@ def resolve_network(raw: str) -> str:
             return name
     raise KeyError(f"unknown network {raw!r}; "
                    f"known: {', '.join(WORKLOAD_NAMES)}")
+
+
+def resolve_schedule(raw: str) -> str:
+    """Map a pipeline-schedule name or alias to its canonical form."""
+    lowered = raw.strip().lower()
+    if lowered in SCHEDULE_ALIASES:
+        return SCHEDULE_ALIASES[lowered]
+    aliases = sorted(set(SCHEDULE_ALIASES) - set(SCHEDULE_ORDER))
+    raise KeyError(
+        f"unknown schedule {raw!r}; known: {', '.join(SCHEDULE_ORDER)} "
+        f"(aliases: {', '.join(aliases)})")
 
 
 def resolve_fault_model(raw: str) -> str:

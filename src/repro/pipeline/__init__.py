@@ -9,7 +9,8 @@ Quickstart::
                       strategy=ParallelStrategy.PIPELINE)
     print(result.pipeline.bubble_fraction)
 
-The schedule (``"1f1b"`` or ``"gpipe"``), pipeline depth, and
+The schedule (``"gpipe"``, ``"1f1b"``, or the zero-bubble kinds
+``"zb-h1"`` / ``"interleaved"`` / ``"zb-auto"``), pipeline depth, and
 microbatch count are :class:`~repro.core.system.SystemConfig` fields
 (``pipeline_schedule`` / ``pipeline_stages`` /
 ``pipeline_microbatches``), so campaigns sweep them through ordinary
@@ -22,14 +23,20 @@ from repro.pipeline.lowering import (PipelinePlan, StageWork,
 from repro.pipeline.partition import (PipelineStage, crossing_sends,
                                       partition_stages, stage_of_layer,
                                       stageable_layer_count)
-from repro.pipeline.schedules import (PipelineSchedule, ScheduleKind,
-                                      Slot, StageProgram, build_schedule,
+from repro.pipeline.schedules import (SCHEDULE_ALIASES, SCHEDULE_ORDER,
+                                      OpKind, PipelineSchedule,
+                                      ScheduleCosts, ScheduleKind, Slot,
+                                      StageProgram, build_schedule,
+                                      evaluate_makespan,
+                                      parse_schedule_kind,
                                       structural_bubble_time)
 
 __all__ = [
-    "PipelinePlan", "PipelineSchedule", "PipelineStage", "ScheduleKind",
-    "Slot", "StageProgram", "StageWork", "build_pipeline_ops",
-    "build_schedule", "crossing_sends", "partition_stages",
+    "OpKind", "PipelinePlan", "PipelineSchedule", "PipelineStage",
+    "SCHEDULE_ALIASES", "SCHEDULE_ORDER", "ScheduleCosts",
+    "ScheduleKind", "Slot", "StageProgram", "StageWork",
+    "build_pipeline_ops", "build_schedule", "crossing_sends",
+    "evaluate_makespan", "parse_schedule_kind", "partition_stages",
     "pipeline_stats", "plan_pipeline", "resolve_stage_count",
     "stage_of_layer", "stageable_layer_count",
     "structural_bubble_time",

@@ -1,35 +1,127 @@
-"""Microbatch schedule generation: GPipe fill-drain and 1F1B.
+"""Microbatch schedule generation: GPipe, 1F1B, and zero-bubble kinds.
 
 A :class:`PipelineSchedule` is pure structure -- per-stage ordered
-slots of forward/backward microbatch work, no times attached.  The two
-classic schedules share the same dependency graph (so, absent memory
-effects, the same fill/drain bubble: the well-known
-``(P-1) * (t_f + t_b)`` of both GPipe and 1F1B), but differ sharply in
-*activation lifetime*: fill-drain keeps every microbatch's stash alive
-across the whole forward phase (peak ``M`` in flight), while 1F1B caps
-stage *s* at ``P - s`` microbatches.  That lifetime gap is what the
+slots of microbatch work, no times attached.  The two classic
+schedules share the same dependency graph (so, absent memory effects,
+the same fill/drain bubble: the well-known ``(P-1) * (t_f + t_b)`` of
+both GPipe and 1F1B), but differ sharply in *activation lifetime*:
+fill-drain keeps every microbatch's stash alive across the whole
+forward phase (peak ``M`` in flight), while 1F1B caps stage *s* at
+``P - s`` microbatches.  That lifetime gap is what the
 memory-virtualization runtime turns into a measurable bubble gap --
 long-lived stashes are offloaded and their prefetches stall backward
 compute (:mod:`repro.pipeline.lowering`).
+
+The zero-bubble kinds additionally split each backward into an
+activation-gradient op (``B``, on the critical path: it feeds the
+upstream grad send) and a weight-gradient op (``W``, deferrable
+filler).  Deferring ``W`` shortens the stage-to-stage backward chain
+to ``t_B`` and spends the banked ``t_W`` inside the fill/drain idle,
+after the style of the ZB-H1 schedule (sail-sg zero-bubble).  The
+activation stash is still freed at ``B``; only the (smaller) weight
+-gradient inputs are held until ``W``, so the deferral depth is capped
+at the stage's 1F1B warmup to stay under the same memory bound.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class ScheduleKind(enum.Enum):
     GPIPE = "gpipe"
     ONE_F_ONE_B = "1f1b"
+    ZB_H1 = "zb-h1"
+    INTERLEAVED = "interleaved"
+    ZB_AUTO = "zb-auto"
+
+    @property
+    def splits_wgrad(self) -> bool:
+        """Whether the kind emits separate B (dX) and W (dW) ops."""
+        return self in _SPLIT_KINDS
+
+    @property
+    def virtual_chunks(self) -> int:
+        """Virtual stages hosted per device (Megatron-style vpp)."""
+        return 2 if self is ScheduleKind.INTERLEAVED else 1
+
+
+_SPLIT_KINDS = frozenset({ScheduleKind.ZB_H1, ScheduleKind.INTERLEAVED,
+                          ScheduleKind.ZB_AUTO})
+
+#: Canonical kind values in presentation order.
+SCHEDULE_ORDER = tuple(kind.value for kind in ScheduleKind)
+
+#: Accepted spellings -> canonical ``ScheduleKind`` values.
+SCHEDULE_ALIASES = {
+    "gpipe": "gpipe",
+    "fill-drain": "gpipe",
+    "1f1b": "1f1b",
+    "one-f-one-b": "1f1b",
+    "zb-h1": "zb-h1",
+    "zb": "zb-h1",
+    "zero-bubble": "zb-h1",
+    "interleaved": "interleaved",
+    "vpp": "interleaved",
+    "zb-v": "interleaved",
+    "zb-auto": "zb-auto",
+    "auto": "zb-auto",
+}
+
+
+def parse_schedule_kind(raw: str) -> ScheduleKind:
+    """``ScheduleKind`` for a canonical value or alias (ValueError)."""
+    try:
+        return ScheduleKind(SCHEDULE_ALIASES.get(str(raw).lower(), raw))
+    except ValueError:
+        raise ValueError(
+            f"'{raw}' is not a valid ScheduleKind; known: "
+            + ", ".join(SCHEDULE_ORDER)) from None
+
+
+class OpKind(enum.Enum):
+    """What a slot computes: forward, activation-grad, weight-grad."""
+
+    F = "F"
+    B = "B"
+    W = "W"
 
 
 @dataclass(frozen=True)
 class Slot:
-    """One unit of stage work: a microbatch's forward or backward."""
+    """One unit of stage work: a microbatch's F, B, or W op.
+
+    ``kind`` defaults from ``is_forward`` so the classic two-phase
+    constructor ``Slot(m, is_forward)`` keeps meaning F/B; zero-bubble
+    schedules pass ``OpKind.W`` explicitly (with ``is_forward=False``,
+    so legacy consumers see W as backward-phase work).
+    """
 
     microbatch: int
     is_forward: bool
+    kind: OpKind | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is None:
+            object.__setattr__(
+                self, "kind", OpKind.F if self.is_forward else OpKind.B)
+        elif (self.kind is OpKind.F) != self.is_forward:
+            raise ValueError(
+                f"slot kind {self.kind} inconsistent with "
+                f"is_forward={self.is_forward}")
+
+
+def _f(m: int) -> Slot:
+    return Slot(m, True)
+
+
+def _b(m: int) -> Slot:
+    return Slot(m, False)
+
+
+def _w(m: int) -> Slot:
+    return Slot(m, False, OpKind.W)
 
 
 @dataclass(frozen=True)
@@ -38,28 +130,88 @@ class StageProgram:
 
     stage: int
     slots: tuple[Slot, ...]
+    #: ``(microbatch, kind) -> slot position``, built once so lowering
+    #: does O(1) lookups instead of an O(M) scan per query.
+    _index: dict = field(default_factory=dict, init=False, repr=False,
+                         compare=False)
+
+    #: ``_w_before[i]`` counts W slots among ``slots[:i]`` (prefix
+    #: sums, so ``stash_slots`` can discount W filler in O(1)).
+    _w_before: tuple = field(default=(), init=False, repr=False,
+                             compare=False)
+
+    def __post_init__(self) -> None:
+        index: dict[tuple[int, OpKind], int] = {}
+        w_before = [0]
+        for position, slot in enumerate(self.slots):
+            key = (slot.microbatch, slot.kind)
+            if key in index:
+                raise ValueError(
+                    f"stage {self.stage} repeats slot {key}")
+            index[key] = position
+            w_before.append(w_before[-1]
+                            + (slot.kind is OpKind.W))
+        object.__setattr__(self, "_index", index)
+        object.__setattr__(self, "_w_before", tuple(w_before))
 
     def slot_index(self, microbatch: int, is_forward: bool) -> int:
-        for index, slot in enumerate(self.slots):
-            if slot.microbatch == microbatch \
-                    and slot.is_forward == is_forward:
-                return index
-        raise KeyError((self.stage, microbatch, is_forward))
+        kind = OpKind.F if is_forward else OpKind.B
+        try:
+            return self._index[(microbatch, kind)]
+        except KeyError:
+            raise KeyError((self.stage, microbatch, is_forward)) \
+                from None
+
+    def kind_index(self, microbatch: int, kind: OpKind) -> int:
+        try:
+            return self._index[(microbatch, kind)]
+        except KeyError:
+            raise KeyError((self.stage, microbatch, kind)) from None
 
     def stash_slots(self, microbatch: int) -> int:
         """Slots a microbatch's activations stay stashed: the count of
-        other work units executed between its forward and backward."""
-        return self.slot_index(microbatch, False) \
-            - self.slot_index(microbatch, True) - 1
+        other F/B work units executed between its forward and backward
+        (the activation-grad op -- zero-bubble stashes are freed at B).
+        Deferred W slots are short filler and do not count toward the
+        lifetime, so the offload-window heuristic sees the same stash
+        ages on a split schedule as on its 1F1B skeleton."""
+        fwd = self.slot_index(microbatch, True)
+        bwd = self.slot_index(microbatch, False)
+        return bwd - fwd - 1 \
+            - (self._w_before[bwd] - self._w_before[fwd + 1])
 
     @property
     def max_in_flight(self) -> int:
-        """Peak live activation stashes (forwards minus backwards)."""
+        """Peak live activation stashes (forwards minus B-backwards).
+
+        W slots do not extend the activation lifetime: the stash is
+        released when B consumes it.
+        """
         live = peak = 0
         for slot in self.slots:
-            live += 1 if slot.is_forward else -1
+            if slot.kind is OpKind.F:
+                live += 1
+            elif slot.kind is OpKind.B:
+                live -= 1
             peak = max(peak, live)
         return peak
+
+    @property
+    def max_w_backlog(self) -> int:
+        """Peak count of microbatches whose B ran but W is still
+        pending -- each holds its weight-gradient inputs resident."""
+        pending = peak = 0
+        for slot in self.slots:
+            if slot.kind is OpKind.B:
+                pending += 1
+            elif slot.kind is OpKind.W:
+                pending -= 1
+            peak = max(peak, pending)
+        return peak
+
+    @property
+    def has_wgrad(self) -> bool:
+        return any(slot.kind is OpKind.W for slot in self.slots)
 
 
 @dataclass(frozen=True)
@@ -74,11 +226,32 @@ class PipelineSchedule:
     def program(self, stage: int) -> StageProgram:
         return self.programs[stage]
 
+    @property
+    def splits_wgrad(self) -> bool:
+        return any(program.has_wgrad for program in self.programs)
+
+
+@dataclass(frozen=True)
+class ScheduleCosts:
+    """Per-stage op costs feeding the zb-auto slot-ordering search.
+
+    All tuples are indexed by stage.  ``t_bwd`` is the activation-grad
+    (B) time alone; ``send_fwd[s]`` prices stage ``s``'s activation
+    send toward ``s+1`` and ``send_bwd[s]`` its gradient send toward
+    ``s-1`` (zero at the respective pipeline ends).
+    """
+
+    t_fwd: tuple[float, ...]
+    t_bwd: tuple[float, ...]
+    t_wgrad: tuple[float, ...]
+    send_fwd: tuple[float, ...]
+    send_bwd: tuple[float, ...]
+
 
 def _gpipe_program(stage: int, n_microbatches: int) -> StageProgram:
     """Fill-drain: every forward, then every backward (same order)."""
-    slots = [Slot(m, True) for m in range(n_microbatches)]
-    slots += [Slot(m, False) for m in range(n_microbatches)]
+    slots = [_f(m) for m in range(n_microbatches)]
+    slots += [_b(m) for m in range(n_microbatches)]
     return StageProgram(stage=stage, slots=tuple(slots))
 
 
@@ -86,18 +259,162 @@ def _one_f_one_b_program(stage: int, n_stages: int,
                          n_microbatches: int) -> StageProgram:
     """1F1B: warm up ``P - 1 - s`` forwards, alternate, then drain."""
     warmup = min(n_stages - 1 - stage, n_microbatches)
-    slots = [Slot(m, True) for m in range(warmup)]
+    slots = [_f(m) for m in range(warmup)]
     for m in range(n_microbatches - warmup):
-        slots.append(Slot(warmup + m, True))
-        slots.append(Slot(m, False))
+        slots.append(_f(warmup + m))
+        slots.append(_b(m))
     for m in range(n_microbatches - warmup, n_microbatches):
-        slots.append(Slot(m, False))
+        slots.append(_b(m))
     return StageProgram(stage=stage, slots=tuple(slots))
 
 
+def _zero_bubble_program(stage: int, n_stages: int, n_microbatches: int,
+                         defer: int, drain_w: int) -> StageProgram:
+    """1F1B slot order with W split off and deferred as bubble filler.
+
+    ``defer`` bounds how many microbatches may sit between a B and its
+    W during the steady state (the weight-grad-input backlog, capped at
+    the stage's warmup so memory stays at the 1F1B bound); ``drain_w``
+    is how many banked W ops are retired per drain-phase B, filling the
+    idle gaps between grad arrivals.  Leftover W ops flush at the tail.
+    """
+    warmup = min(n_stages - 1 - stage, n_microbatches)
+    defer = max(0, min(defer, warmup, n_microbatches))
+    slots = [_f(m) for m in range(warmup)]
+    next_w = 0
+
+    def retire(limit: int, upto: int) -> None:
+        nonlocal next_w
+        emitted = 0
+        while next_w <= upto and emitted < limit:
+            slots.append(_w(next_w))
+            next_w += 1
+            emitted += 1
+
+    for m in range(n_microbatches - warmup):
+        slots.append(_f(warmup + m))
+        slots.append(_b(m))
+        if m + 1 - next_w > defer:
+            retire(m + 1 - next_w - defer, m)
+    for m in range(n_microbatches - warmup, n_microbatches):
+        slots.append(_b(m))
+        retire(drain_w, m)
+    retire(n_microbatches - next_w, n_microbatches - 1)
+    return StageProgram(stage=stage, slots=tuple(slots))
+
+
+def _zb_h1_params(n_stages: int,
+                  n_microbatches: int) -> list[tuple[int, int]]:
+    """The fixed ZB-H1 heuristic: defer by the warmup depth, retire
+    one banked W per drain gap."""
+    return [(min(n_stages - 1 - s, n_microbatches), 1)
+            for s in range(n_stages)]
+
+
+def evaluate_makespan(programs: tuple[StageProgram, ...],
+                      costs: ScheduleCosts) -> float:
+    """Analytic makespan of slot programs under the simulator's model.
+
+    Mirrors the emitter's semantics -- one in-order compute engine per
+    stage, F gated on the upstream activation send, B gated on the
+    downstream gradient send (or the stage's own F at the loss stage),
+    W gated on its own B -- but prices sends as fixed latencies rather
+    than occupying a COMM engine.  It is the auto-scheduler's cheap
+    inner-loop objective; the found schedule is validated by replaying
+    through ``simulate()``.
+    """
+    n_stages = len(programs)
+    cursors = [0] * n_stages
+    engine_free = [0.0] * n_stages
+    f_done: dict[tuple[int, int], float] = {}
+    b_done: dict[tuple[int, int], float] = {}
+    total = sum(len(p.slots) for p in programs)
+    emitted = 0
+    progress = True
+    while progress:
+        progress = False
+        for s in range(n_stages):
+            slots = programs[s].slots
+            while cursors[s] < len(slots):
+                slot = slots[cursors[s]]
+                m = slot.microbatch
+                if slot.kind is OpKind.F:
+                    if s > 0:
+                        if (s - 1, m) not in f_done:
+                            break
+                        ready = f_done[(s - 1, m)] + costs.send_fwd[s - 1]
+                    else:
+                        ready = 0.0
+                    finish = max(engine_free[s], ready) + costs.t_fwd[s]
+                    f_done[(s, m)] = finish
+                elif slot.kind is OpKind.B:
+                    if s < n_stages - 1:
+                        if (s + 1, m) not in b_done:
+                            break
+                        ready = b_done[(s + 1, m)] + costs.send_bwd[s + 1]
+                    else:
+                        ready = f_done[(s, m)]
+                    finish = max(engine_free[s], ready) + costs.t_bwd[s]
+                    b_done[(s, m)] = finish
+                else:
+                    finish = max(engine_free[s], b_done[(s, m)]) \
+                        + costs.t_wgrad[s]
+                engine_free[s] = finish
+                cursors[s] += 1
+                emitted += 1
+                progress = True
+    if emitted != total:
+        raise RuntimeError(
+            f"schedule deadlocked after {emitted}/{total} slots in "
+            "analytic evaluation (inconsistent stage programs)")
+    return max(engine_free) if engine_free else 0.0
+
+
+def _auto_zero_bubble_params(n_stages: int, n_microbatches: int,
+                             costs: ScheduleCosts) \
+        -> list[tuple[int, int]]:
+    """Coordinate descent over per-stage (defer, drain_w) knobs.
+
+    Starts at the ZB-H1 heuristic and greedily improves one stage at a
+    time against the analytic makespan, two sweeps.  Deterministic;
+    the deferral depth never exceeds the stage's warmup, keeping the
+    weight-grad-input backlog under the 1F1B memory bound.
+    """
+
+    def build(params: list[tuple[int, int]]) \
+            -> tuple[StageProgram, ...]:
+        return tuple(
+            _zero_bubble_program(s, n_stages, n_microbatches, d, k)
+            for s, (d, k) in enumerate(params))
+
+    params = _zb_h1_params(n_stages, n_microbatches)
+    best = evaluate_makespan(build(params), costs)
+    for _ in range(2):
+        for s in range(n_stages):
+            warmup = min(n_stages - 1 - s, n_microbatches)
+            for defer in sorted({0, warmup // 2, warmup}):
+                for drain_w in (0, 1, 2, n_microbatches):
+                    if (defer, drain_w) == params[s]:
+                        continue
+                    trial = list(params)
+                    trial[s] = (defer, drain_w)
+                    span = evaluate_makespan(build(trial), costs)
+                    if span < best * (1.0 - 1e-12):
+                        best = span
+                        params = trial
+    return params
+
+
 def build_schedule(kind: ScheduleKind, n_stages: int,
-                   n_microbatches: int) -> PipelineSchedule:
-    """Generate every stage's program for ``kind``."""
+                   n_microbatches: int,
+                   costs: ScheduleCosts | None = None) \
+        -> PipelineSchedule:
+    """Generate every stage's program for ``kind``.
+
+    ``costs`` feeds the ``zb-auto`` slot-ordering search; without it
+    the auto kind falls back to the fixed ZB-H1 parameters.  The other
+    kinds ignore it.
+    """
     if n_stages < 1:
         raise ValueError("need at least one stage")
     if n_microbatches < 1:
@@ -105,23 +422,38 @@ def build_schedule(kind: ScheduleKind, n_stages: int,
     if kind is ScheduleKind.GPIPE:
         programs = tuple(_gpipe_program(s, n_microbatches)
                          for s in range(n_stages))
-    else:
+    elif kind is ScheduleKind.ONE_F_ONE_B:
         programs = tuple(
             _one_f_one_b_program(s, n_stages, n_microbatches)
             for s in range(n_stages))
+    else:
+        if kind is ScheduleKind.ZB_AUTO and costs is not None:
+            params = _auto_zero_bubble_params(n_stages, n_microbatches,
+                                              costs)
+        else:
+            params = _zb_h1_params(n_stages, n_microbatches)
+        programs = tuple(
+            _zero_bubble_program(s, n_stages, n_microbatches, d, k)
+            for s, (d, k) in enumerate(params))
     return PipelineSchedule(kind=kind, n_stages=n_stages,
                             n_microbatches=n_microbatches,
                             programs=programs)
 
 
-def structural_bubble_time(n_stages: int, t_fwd: float,
-                           t_bwd: float) -> float:
+def structural_bubble_time(n_stages: int, t_fwd: float, t_bwd: float,
+                           t_wgrad: float = 0.0) -> float:
     """The schedule-independent fill/drain lower bound.
 
-    Both GPipe and 1F1B idle each stage for ``(P-1) * (t_f + t_b)`` in
-    aggregate when memory is free; measured bubbles exceed this bound
-    by exactly the memory system's exposed stall time.
+    With an undifferentiated backward (``t_wgrad == 0``) both GPipe
+    and 1F1B idle each stage for ``(P-1) * (t_f + t_b)`` in aggregate
+    when memory is free; measured bubbles exceed this bound by exactly
+    the memory system's exposed stall time.  Splitting ``t_wgrad`` out
+    of ``t_bwd`` (which stays the *total* backward time) lets a
+    zero-bubble schedule fill up to ``2 * (P-1) * t_W`` of that idle
+    with deferred weight-gradient work -- ZB-H1's
+    ``(P-1) * (t_f + t_B - t_W)`` bound -- so the lower bound drops
+    accordingly, floored at zero.
     """
     if n_stages < 1:
         raise ValueError("need at least one stage")
-    return (n_stages - 1) * (t_fwd + t_bwd)
+    return max(0.0, (n_stages - 1) * (t_fwd + t_bwd - 2.0 * t_wgrad))

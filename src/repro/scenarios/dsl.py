@@ -27,7 +27,7 @@ from typing import Any
 from repro.accelerator.generations import generation
 from repro.campaign.points import canonical_fingerprint, canonicalize
 from repro.naming import (resolve_design, resolve_fault_model,
-                          resolve_network)
+                          resolve_network, resolve_schedule)
 from repro.vmem.prefetch import PREFETCH_POLICY_ORDER
 
 #: Factory/replacement overrides as sorted (key, value) pairs.
@@ -114,8 +114,11 @@ class WorkloadSpec:
             raise ValueError("batch must be positive")
         if self.microbatches < 1:
             raise ValueError("microbatches must be >= 1")
-        if self.schedule not in ("1f1b", "gpipe"):
-            raise ValueError("schedule must be '1f1b' or 'gpipe'")
+        try:
+            object.__setattr__(self, "schedule",
+                               resolve_schedule(self.schedule))
+        except KeyError as exc:
+            raise ValueError(str(exc).strip('"')) from None
         if self.stages < 0:
             raise ValueError("stages must be >= 0")
 

@@ -306,6 +306,90 @@ def pipeline_claims() -> list[Claim]:
 
 
 # ---------------------------------------------------------------------
+# Zero-bubble pipeline schedules: deferred W work fills 1F1B's idle
+# ---------------------------------------------------------------------
+
+_TRANSFORMERS = ("GPT2", "BERT-Large")
+_ZB_SCHEDULES = ("1f1b", "zb-h1", "interleaved", "zb-auto")
+
+
+def _zb_cell(design: str, network: str, schedule: str) -> str:
+    return f"{design}/{network}/zbpp-{schedule}"
+
+
+def _zb_cells(schedule: str) -> tuple[str, ...]:
+    return tuple(_zb_cell(design, network, schedule)
+                 for design in _GRID_DESIGNS
+                 for network in _TRANSFORMERS)
+
+
+def zero_bubble_scenarios() -> list[Scenario]:
+    """Every design x transformer cell under each pipeline schedule."""
+    return [
+        Scenario(name=_zb_cell(design, network, schedule),
+                 system=DesignSpec(design),
+                 workload=WorkloadSpec(network=network, batch=64,
+                                       strategy="pipeline",
+                                       microbatches=8,
+                                       schedule=schedule))
+        for design in _GRID_DESIGNS
+        for network in _TRANSFORMERS
+        for schedule in _ZB_SCHEDULES
+    ]
+
+
+def zero_bubble_claims() -> list[Claim]:
+    return [
+        # The headline: the searched zero-bubble schedule strictly
+        # lowers the bubble fraction on every design x transformer
+        # cell (ratio of 1F1B over zb-auto strictly above 1).
+        ratio_at_least(
+            name="zero-bubble-beats-1f1b",
+            metric="pipeline.bubble_fraction",
+            numerators=_zb_cells("1f1b"),
+            denominators=_zb_cells("zb-auto"),
+            threshold=1.0, aggregate="min", strict=True),
+        # The fixed ZB-H1 heuristic never loses to 1F1B (it ties on
+        # the offload-stall-dominated DC cells, hence the tolerance).
+        dominates(
+            name="zb-h1-never-worse-than-1f1b",
+            metric="pipeline.bubble_fraction",
+            winners=_zb_cells("zb-h1"), losers=_zb_cells("1f1b"),
+            sense="min", tolerance=1e-9),
+        # The auto-scheduler only ever improves on its starting point.
+        dominates(
+            name="zb-auto-at-least-zb-h1",
+            metric="pipeline.bubble_fraction",
+            winners=_zb_cells("zb-auto"), losers=_zb_cells("zb-h1"),
+            sense="min", tolerance=1e-9),
+        # Splitting actually banks W work to fill with.
+        at_least(
+            name="zb-defers-wgrad-work",
+            metric="pipeline.wgrad_time",
+            scenarios=_zb_cells("zb-auto"), bound=1e-6),
+        # Interleaved virtual stages shine where stages are
+        # memory-resident and deep: BERT on the bandwidth-aware MC
+        # designs.
+        dominates(
+            name="interleaved-wins-on-bert-mc",
+            metric="pipeline.bubble_fraction",
+            winners=(_zb_cell(MC_B, "BERT-Large", "interleaved"),
+                     _zb_cell(ORACLE, "BERT-Large", "interleaved")),
+            losers=(_zb_cell(MC_B, "BERT-Large", "1f1b"),
+                    _zb_cell(ORACLE, "BERT-Large", "1f1b")),
+            sense="min"),
+    ]
+
+
+def zero_bubble_suite() -> ClaimSuite:
+    """The zero-bubble study alone (golden-snapshot surface)."""
+    return ClaimSuite(
+        name="zero-bubble",
+        scenarios=tuple(zero_bubble_scenarios()),
+        claims=tuple(zero_bubble_claims()))
+
+
+# ---------------------------------------------------------------------
 # Prefetch policies (PR 5): the clairvoyant oracle dominates
 # ---------------------------------------------------------------------
 
@@ -464,6 +548,11 @@ def paper_suite(quick: bool = False) -> ClaimSuite:
     claims += (cluster_claims() + serving_claims()
                + pipeline_claims() + prefetch_claims()
                + fault_claims() + frontier_claims())
+    if not quick:
+        # The 48-cell zero-bubble study rides only the full suite so
+        # the quick CI smoke stays at its 32-cell budget.
+        scenarios += zero_bubble_scenarios()
+        claims += zero_bubble_claims()
     return ClaimSuite(
         name="paper-claims-quick" if quick else "paper-claims",
         scenarios=tuple(scenarios), claims=tuple(claims))
